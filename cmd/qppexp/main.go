@@ -1,0 +1,212 @@
+// Command qppexp regenerates the paper's evaluation: it builds the two
+// TPC-H workloads (the paper's 10 GB / 1 GB pair, scaled), runs the chosen
+// experiments, and prints the corresponding tables — one section per
+// figure of the paper.
+//
+// Usage:
+//
+//	qppexp                        # all experiments at full reproduction scale
+//	qppexp -exp fig5,fig6         # a subset
+//	qppexp -quick                 # reduced scale for a fast smoke run
+//	qppexp -per-template 20       # override workload size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"qpp/internal/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiments: fig4,fig5,fig6,fig7,fig8,fig9")
+	quick := flag.Bool("quick", false, "reduced scale for a fast run")
+	largeSF := flag.Float64("large-sf", 0, "override large scale factor")
+	smallSF := flag.Float64("small-sf", 0, "override small scale factor")
+	perTemplate := flag.Int("per-template", 0, "override queries per template")
+	seed := flag.Int64("seed", 0, "override seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *largeSF > 0 {
+		cfg.LargeSF = *largeSF
+	}
+	if *smallSF > 0 {
+		cfg.SmallSF = *smallSF
+	}
+	if *perTemplate > 0 {
+		cfg.PerTemplate = *perTemplate
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	fmt.Printf("# Learning-based QPP reproduction — experiment run\n")
+	fmt.Printf("# large SF=%v small SF=%v per-template=%d seed=%d folds=%d\n\n",
+		cfg.LargeSF, cfg.SmallSF, cfg.PerTemplate, cfg.Seed, cfg.Folds)
+
+	t0 := time.Now()
+	env, err := experiments.BuildEnv(cfg)
+	if err != nil {
+		log.Fatalf("qppexp: %v", err)
+	}
+	fmt.Printf("built workloads in %v: large=%d queries (timeouts %v), small=%d queries (timeouts %v)\n\n",
+		time.Since(t0).Round(time.Millisecond),
+		len(env.Large.Records), env.Large.TimedOut,
+		len(env.Small.Records), env.Small.TimedOut)
+
+	run := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("qppexp: %s: %v", name, err)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig5", func() error { return runFig5(env) })
+	run("fig6", func() error { return runFig6(env) })
+	run("fig7", func() error { return runFig7(env) })
+	run("fig8", func() error { return runFig8(env) })
+	run("fig9", func() error { return runFig9(env) })
+	run("fig4", func() error { return runFig4(env) })
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+func runFig5(env *experiments.Env) error {
+	res, err := experiments.Fig5(env)
+	if err != nil {
+		return err
+	}
+	fmt.Println("## Figure 5 / Section 5.2 — Prediction with the optimizer cost model")
+	fmt.Printf("least-squares fit: time = %.3g * cost + %.3g\n", res.Slope, res.Intercept)
+	fmt.Printf("relative error: min=%s mean=%s max=%s   (paper: 30%% / 120%% / 1744%%)\n",
+		pct(res.MinRel), pct(res.MeanRel), pct(res.MaxRel))
+	fmt.Printf("predictive risk: %.3f   (paper: ~0.93 — deceptively high)\n", res.PredictiveRisk)
+	fmt.Printf("scatter: %d (cost, time) points; sample:\n", len(res.Points))
+	for i := 0; i < len(res.Points) && i < 5; i++ {
+		p := res.Points[i]
+		fmt.Printf("  T%-2d cost=%12.1f time=%8.3fs\n", p.Template, p.Cost, p.Time)
+	}
+	return nil
+}
+
+func templateTable(errs []experiments.TemplateError) string {
+	var sb strings.Builder
+	for _, e := range errs {
+		fmt.Fprintf(&sb, "  T%-3d %8s  (n=%d)\n", e.Template, pct(e.Error), e.N)
+	}
+	return sb.String()
+}
+
+func runFig6(env *experiments.Env) error {
+	res, err := experiments.Fig6(env)
+	if err != nil {
+		return err
+	}
+	fmt.Println("## Figure 6 / Section 5.3 — Static workload prediction")
+	fmt.Printf("### 6(a) Plan-level, large DB — mean %s (paper 6.75%%)\n%s",
+		pct(res.PlanLargeMean), templateTable(res.PlanLarge))
+	fmt.Printf("### 6(c) Plan-level, small DB — mean %s (paper 17.43%%)\n%s",
+		pct(res.PlanSmallMean), templateTable(res.PlanSmall))
+	fmt.Printf("### 6(d) Operator-level, large DB — mean %s over 14 (paper 53.9%%); best %d templates %s (paper: 11 at 7.3%%)\n%s",
+		pct(res.OpLargeMean), res.OpLargeBestN, pct(res.OpLargeBestMean), templateTable(res.OpLarge))
+	fmt.Printf("### 6(f) Operator-level, small DB — mean %s over 14 (paper 59.6%%); best %d templates %s (paper: 8 at 16.45%%)\n%s",
+		pct(res.OpSmallMean), res.OpSmallBestN, pct(res.OpSmallBestMean), templateTable(res.OpSmall))
+	fmt.Printf("### 6(b)/(e) scatter sizes: plan=%d points, op=%d points\n",
+		len(res.PlanLargeScatter), len(res.OpLargeScatter))
+	return nil
+}
+
+func runFig7(env *experiments.Env) error {
+	res, err := experiments.Fig7(env)
+	if err != nil {
+		return err
+	}
+	fmt.Println("## Figure 7 / Section 5.3.3 — Actual vs estimated feature values (large DB)")
+	fmt.Println("  train/test        plan-level   operator-level")
+	for _, c := range res.Combos {
+		fmt.Printf("  %-8s/%-9s %10s %14s\n", c.Train, c.Test, pct(c.PlanErr), pct(c.OpErr))
+	}
+	fmt.Printf("### 7(b) Plan-level actual/actual by template\n%s", templateTable(res.PlanActualByTemplate))
+	return nil
+}
+
+func runFig8(env *experiments.Env) error {
+	res, err := experiments.Fig8(env)
+	if err != nil {
+		return err
+	}
+	fmt.Println("## Figure 8 / Section 5.3.4 — Hybrid plan-ordering strategies (held-out error vs iteration)")
+	names := make([]string, 0, len(res.Curves))
+	for n := range res.Curves {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		curve := res.Curves[name]
+		fmt.Printf("  %-16s models=%d: ", name, res.ModelsAccepted[name])
+		for _, p := range curve {
+			fmt.Printf("%d:%s ", p.Iter, pct(p.Error))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runFig9(env *experiments.Env) error {
+	res, err := experiments.Fig9(env)
+	if err != nil {
+		return err
+	}
+	fmt.Println("## Figure 9 / Section 5.4 — Dynamic workload (leave one template out)")
+	fmt.Println("  tmpl   plan-level   op-level   error-based   size-based   online")
+	for _, r := range res.Rows {
+		fmt.Printf("  T%-3d %10s %10s %12s %12s %9s\n", r.Template,
+			pct(r.PlanLevel), pct(r.OpLevel), pct(r.ErrorBased), pct(r.SizeBased), pct(r.Online))
+	}
+	fmt.Printf("  mean %10s %10s %12s %12s %9s\n",
+		pct(res.PlanMean), pct(res.OpMean), pct(res.ErrMean), pct(res.SizeMean), pct(res.OnlineMean))
+	return nil
+}
+
+func runFig4(env *experiments.Env) error {
+	res, err := experiments.Fig4(env)
+	if err != nil {
+		return err
+	}
+	fmt.Println("## Figure 4 / Section 4 — Common sub-plan analysis (14 templates, large DB)")
+	fmt.Println("### 4(a) CDF of common sub-plan sizes")
+	for _, p := range res.SizeCDF {
+		fmt.Printf("  size<=%-3d F=%.2f\n", p.Size, p.F)
+	}
+	fmt.Println("### 4(b) Most common sub-plans")
+	for _, s := range res.TopSubplans {
+		sig := s.Signature
+		if len(sig) > 90 {
+			sig = sig[:90] + "…"
+		}
+		fmt.Printf("  %4d occurrences in %2d templates (size %d): %s\n", s.Occurrences, s.Templates, s.Size, sig)
+	}
+	fmt.Println("### 4(c) Templates sharing common sub-plans")
+	for _, s := range res.Sharing {
+		fmt.Printf("  T%-3d shares with %d other templates\n", s.Template, s.SharesWith)
+	}
+	return nil
+}

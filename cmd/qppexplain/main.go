@@ -1,0 +1,58 @@
+// Command qppexplain plans (and optionally executes) a SQL query against a
+// generated TPC-H database and prints its EXPLAIN / EXPLAIN ANALYZE tree,
+// exactly the optimizer output the QPP features are extracted from.
+//
+// Usage:
+//
+//	qppexplain -sf 0.01 -template 3            # a random Q3 instance
+//	qppexplain -sf 0.01 -query 'select ...'    # ad-hoc SQL
+//	qppexplain -sf 0.01 -template 5 -analyze   # execute and show actuals
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"qpp"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	seed := flag.Int64("seed", 42, "data/query generation seed")
+	template := flag.Int("template", 0, "TPC-H template to instantiate (1-15, 18, 19, 22)")
+	query := flag.String("query", "", "ad-hoc SQL (overrides -template)")
+	analyze := flag.Bool("analyze", false, "execute the query and show actual times")
+	flag.Parse()
+
+	engine, err := qperf.NewEngine(qperf.EngineConfig{ScaleFactor: *sf, Seed: *seed})
+	if err != nil {
+		log.Fatalf("qppexplain: %v", err)
+	}
+	sqlText := *query
+	if sqlText == "" {
+		if *template == 0 {
+			log.Fatal("qppexplain: provide -query or -template")
+		}
+		sqlText, err = qperf.GenerateQuery(*template, *seed)
+		if err != nil {
+			log.Fatalf("qppexplain: %v", err)
+		}
+		fmt.Printf("-- TPC-H template %d instance:\n%s\n\n", *template, sqlText)
+	}
+	if *analyze {
+		res, err := engine.Run(sqlText, *seed)
+		if err != nil {
+			log.Fatalf("qppexplain: %v", err)
+		}
+		out := qperf.ExplainPlan(res.Plan)
+		fmt.Print(out)
+		fmt.Printf("\nRows: %d   Virtual execution time: %.4f s\n", len(res.Rows), res.Elapsed)
+		return
+	}
+	out, err := engine.Explain(sqlText)
+	if err != nil {
+		log.Fatalf("qppexplain: %v", err)
+	}
+	fmt.Print(out)
+}

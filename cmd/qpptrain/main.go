@@ -1,0 +1,146 @@
+// Command qpptrain is the offline model-building pipeline the paper
+// describes in Section 1: execute a training workload, train prediction
+// models, and materialize them to disk so later predictions need no
+// retraining. With -load it restores materialized models and evaluates
+// them on a freshly generated test workload.
+//
+// Usage:
+//
+//	qpptrain -sf 0.01 -per-template 20 -out models/         # train + save
+//	qpptrain -sf 0.01 -load models/ -test-per-template 5    # load + evaluate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"qpp"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	perTemplate := flag.Int("per-template", 20, "training queries per template")
+	testPerTemplate := flag.Int("test-per-template", 5, "test queries per template (evaluation)")
+	seed := flag.Int64("seed", 42, "generation seed")
+	out := flag.String("out", "", "directory to materialize trained models into")
+	load := flag.String("load", "", "directory to load materialized models from (skips training)")
+	strategy := flag.String("strategy", "error", "hybrid strategy: error, size, frequency")
+	flag.Parse()
+
+	var strat qperf.HybridStrategy
+	switch *strategy {
+	case "size":
+		strat = qperf.SizeBased
+	case "frequency":
+		strat = qperf.FrequencyBased
+	default:
+		strat = qperf.ErrorBased
+	}
+
+	var planModel *qperf.PlanLevelModel
+	var hybridModel *qperf.HybridModel
+	var err error
+
+	if *load != "" {
+		planModel, hybridModel, err = loadModels(*load)
+		if err != nil {
+			log.Fatalf("qpptrain: %v", err)
+		}
+		fmt.Printf("loaded materialized models from %s (hybrid carries %d sub-plan models)\n",
+			*load, hybridModel.NumPlanModels())
+	} else {
+		fmt.Printf("executing training workload (SF %v, %d per template)...\n", *sf, *perTemplate)
+		train, err := qperf.BuildWorkload(qperf.WorkloadConfig{
+			ScaleFactor: *sf,
+			Templates:   qperf.OperatorLevelTemplates(),
+			PerTemplate: *perTemplate,
+			Seed:        *seed,
+		})
+		if err != nil {
+			log.Fatalf("qpptrain: %v", err)
+		}
+		fmt.Printf("training models on %d executed queries...\n", train.Len())
+		planModel, err = qperf.TrainPlanLevelModel(train)
+		if err != nil {
+			log.Fatalf("qpptrain: plan-level: %v", err)
+		}
+		hybridModel, err = qperf.TrainHybridModel(train, strat)
+		if err != nil {
+			log.Fatalf("qpptrain: hybrid: %v", err)
+		}
+		if *out != "" {
+			if err := saveModels(*out, planModel, hybridModel); err != nil {
+				log.Fatalf("qpptrain: %v", err)
+			}
+			fmt.Printf("materialized models into %s\n", *out)
+		}
+	}
+
+	// Evaluate on a fresh workload (different parameters, same templates).
+	fmt.Printf("evaluating on a fresh workload (%d per template)...\n", *testPerTemplate)
+	test, err := qperf.BuildWorkload(qperf.WorkloadConfig{
+		ScaleFactor: *sf,
+		Templates:   qperf.OperatorLevelTemplates(),
+		PerTemplate: *testPerTemplate,
+		Seed:        *seed + 100000,
+	})
+	if err != nil {
+		log.Fatalf("qpptrain: %v", err)
+	}
+	for _, p := range []qperf.Predictor{planModel, hybridModel} {
+		mre, skipped, err := qperf.MeanRelativeError(p, test)
+		if err != nil {
+			log.Fatalf("qpptrain: evaluate %s: %v", p.Name(), err)
+		}
+		note := ""
+		if skipped > 0 {
+			note = fmt.Sprintf(" (%d skipped)", skipped)
+		}
+		fmt.Printf("  %-22s test MRE %.1f%%%s\n", p.Name(), 100*mre, note)
+	}
+}
+
+func saveModels(dir string, pl *qperf.PlanLevelModel, hy *qperf.HybridModel) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	pf, err := os.Create(filepath.Join(dir, "plan_level.json"))
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	if err := pl.Save(pf); err != nil {
+		return err
+	}
+	hf, err := os.Create(filepath.Join(dir, "hybrid.json"))
+	if err != nil {
+		return err
+	}
+	defer hf.Close()
+	return hy.Save(hf)
+}
+
+func loadModels(dir string) (*qperf.PlanLevelModel, *qperf.HybridModel, error) {
+	pf, err := os.Open(filepath.Join(dir, "plan_level.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer pf.Close()
+	pl, err := qperf.LoadPlanLevelModel(pf)
+	if err != nil {
+		return nil, nil, err
+	}
+	hf, err := os.Open(filepath.Join(dir, "hybrid.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer hf.Close()
+	hy, err := qperf.LoadHybridModel(hf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pl, hy, nil
+}

@@ -1,0 +1,66 @@
+// Online model building (Section 4 of the paper): a new query arrives; we
+// immediately produce an operator-level prediction with pre-built models,
+// then refine it by building plan-level models online for the query's own
+// sub-plans over the already-logged training data — no new sample runs.
+// This demonstrates the paper's "progressively improved predictions".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qpp"
+)
+
+func main() {
+	// Training workload: five templates, none of them template 10.
+	all, err := qperf.BuildWorkload(qperf.WorkloadConfig{
+		ScaleFactor: 0.008,
+		Templates:   []int{1, 3, 4, 5, 14, 10},
+		PerTemplate: 12,
+		Seed:        33,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, incoming := all.SplitTemplate(10)
+
+	// Pre-built models, ready before any query arrives.
+	opLevel, err := qperf.TrainOperatorLevel(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The online predictor wraps the same operator models plus the
+	// training sub-plan index; per query it decides which sub-plan models
+	// are worth building.
+	online, err := qperf.NewOnlinePredictor(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("new Q10 queries arriving (template unseen in training):")
+	fmt.Println("\n  immediate (op-level)   refined (online)   actual")
+	for i, q := range incoming.Queries() {
+		if i >= 6 {
+			break
+		}
+		immediate, err := opLevel.Predict(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		refined, err := online.Predict(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %18.4fs %18.4fs %8.4fs\n", immediate, refined, q.Latency())
+	}
+
+	for _, p := range []qperf.Predictor{opLevel, online} {
+		mre, _, err := qperf.MeanRelativeError(p, incoming)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%-22s MRE over all incoming queries: %.1f%%", p.Name(), 100*mre)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,53 @@
+// Progressive prediction (the paper's Section 7 extension): predictions
+// that are continually refined during query execution. Before the query
+// starts we only have static features; as operators finish, their observed
+// timings replace model estimates and the prediction converges to the
+// true latency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qpp"
+)
+
+func main() {
+	train, err := qperf.BuildWorkload(qperf.WorkloadConfig{
+		ScaleFactor: 0.008,
+		Templates:   []int{1, 3, 5, 10, 12},
+		PerTemplate: 10,
+		Seed:        55,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := qperf.NewProgressive(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// New queries from one of the trained templates.
+	test, err := qperf.BuildWorkload(qperf.WorkloadConfig{
+		ScaleFactor: 0.008,
+		Templates:   []int{5},
+		PerTemplate: 3,
+		Seed:        777,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fractions := []float64{0, 0.25, 0.5, 0.75, 0.95}
+	for _, q := range test.Queries() {
+		fmt.Printf("\nquery (Q%d), actual latency %.4fs:\n", q.Template(), q.Latency())
+		traj, err := prog.Trajectory(q, fractions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range traj {
+			fmt.Printf("  at %3.0f%% executed: predict %.4fs (error %5.1f%%)\n",
+				100*p.Fraction, p.Prediction, 100*p.RelError)
+		}
+	}
+	fmt.Println("\nPredictions converge to the actual latency as execution progresses.")
+}

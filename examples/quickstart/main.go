@@ -1,0 +1,67 @@
+// Quickstart: generate a TPC-H database, execute a training workload,
+// train the paper's plan-level predictor, and predict the latency of new
+// queries before running them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qpp"
+)
+
+func main() {
+	// 1. Execute a training workload: 15 instances each of three TPC-H
+	// templates on a small generated database. Every query is planned,
+	// executed cold, and instrumented.
+	train, err := qperf.BuildWorkload(qperf.WorkloadConfig{
+		ScaleFactor: 0.005,
+		Templates:   []int{1, 3, 6},
+		PerTemplate: 15,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed %d training queries\n", train.Len())
+
+	// 2. Train the plan-level predictor (nu-SVR over Table-1 features).
+	model, err := qperf.TrainPlanLevel(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Predict unseen instances of the same templates — the static
+	// workload scenario. We execute them only to check the prediction.
+	test, err := qperf.BuildWorkload(qperf.WorkloadConfig{
+		ScaleFactor: 0.005,
+		Templates:   []int{1, 3, 6},
+		PerTemplate: 3,
+		Seed:        99, // different parameters than training
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n  template   predicted   actual     error")
+	for _, q := range test.Queries() {
+		pred, err := model.Predict(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		actual := q.Latency()
+		fmt.Printf("  Q%-8d %8.3fs %8.3fs %8.1f%%\n",
+			q.Template(), pred, actual, 100*abs(pred-actual)/actual)
+	}
+	mre, _, err := qperf.MeanRelativeError(model, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmean relative error: %.1f%%\n", 100*mre)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

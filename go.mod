@@ -1,0 +1,3 @@
+module qpp
+
+go 1.22

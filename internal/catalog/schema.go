@@ -1,0 +1,67 @@
+// Package catalog holds schema metadata and optimizer statistics: table
+// and column definitions, row/page counts, per-column NDV, min/max,
+// equi-depth histograms and most-common-value lists, plus the ANALYZE
+// routine that computes them. It mirrors what PostgreSQL's pg_statistic
+// provides to its planner — including its blind spots (attribute
+// independence, bounded histogram resolution), which the paper identifies
+// as a driver of cost-model error.
+package catalog
+
+import (
+	"fmt"
+
+	"qpp/internal/types"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type types.Kind
+}
+
+// Table describes one table's schema.
+type Table struct {
+	Name    string
+	Columns []Column
+	// PrimaryKey lists the column ordinals of the primary key, in key
+	// order. TPC-H's spec-mandated PK indexes are built on these.
+	PrimaryKey []int
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Schema is a named collection of tables.
+type Schema struct {
+	Tables map[string]*Table
+	order  []string
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema { return &Schema{Tables: map[string]*Table{}} }
+
+// AddTable registers a table; duplicate names are an error.
+func (s *Schema) AddTable(t *Table) error {
+	if _, ok := s.Tables[t.Name]; ok {
+		return fmt.Errorf("catalog: duplicate table %q", t.Name)
+	}
+	s.Tables[t.Name] = t
+	s.order = append(s.order, t.Name)
+	return nil
+}
+
+// Table looks up a table by name.
+func (s *Schema) Table(name string) (*Table, bool) {
+	t, ok := s.Tables[name]
+	return t, ok
+}
+
+// TableNames returns table names in registration order.
+func (s *Schema) TableNames() []string { return append([]string(nil), s.order...) }

@@ -1,0 +1,240 @@
+package catalog
+
+import (
+	"sort"
+
+	"qpp/internal/types"
+)
+
+// HistogramBins is the number of equi-depth histogram buckets per column,
+// matching the PostgreSQL default the paper mentions (Section 5.3.3:
+// "histograms (with 100 bins) for each column").
+const HistogramBins = 100
+
+// MCVEntries is the size of the most-common-value list kept per column.
+const MCVEntries = 20
+
+// MCV is one most-common-value entry.
+type MCV struct {
+	Key  string  // types.Value.Key() of the value
+	Freq float64 // fraction of non-null rows holding the value
+}
+
+// ColumnStats summarizes one column for cardinality estimation.
+type ColumnStats struct {
+	Name     string
+	Kind     types.Kind
+	NullFrac float64
+	NDV      float64 // number of distinct values (estimated = exact here)
+	AvgWidth float64
+	// Min and Max are the numeric bounds (AsFloat) for orderable columns.
+	Min, Max float64
+	// Bounds is the equi-depth histogram: HistogramBins+1 ascending bucket
+	// boundaries over the numeric image of the column. Empty for string
+	// columns, which rely on MCVs and NDV instead (a deliberate blind spot
+	// shared with simple planners).
+	Bounds []float64
+	// MCVs lists the most common values with their frequencies.
+	MCVs []MCV
+}
+
+// TableStats summarizes one table.
+type TableStats struct {
+	RowCount int64
+	Pages    int64
+	AvgWidth float64 // mean row width in bytes
+	Columns  []ColumnStats
+}
+
+// Column returns the stats of the named column, or nil.
+func (ts *TableStats) Column(name string) *ColumnStats {
+	for i := range ts.Columns {
+		if ts.Columns[i].Name == name {
+			return &ts.Columns[i]
+		}
+	}
+	return nil
+}
+
+// PageSize is the storage/buffer page size in bytes (PostgreSQL's 8 KiB).
+const PageSize = 8192
+
+// AnalyzeRows computes full statistics for a table's rows. Unlike
+// PostgreSQL's sampled ANALYZE these statistics are exact over the data,
+// but estimation error still arises where it matters: from the attribute
+// independence assumption, histogram resolution, and join/group
+// extrapolation — the error sources Section 5.3.3 of the paper discusses.
+func AnalyzeRows(meta *Table, rows [][]types.Value) *TableStats {
+	ts := &TableStats{RowCount: int64(len(rows))}
+	var totalWidth float64
+	ncols := len(meta.Columns)
+	ts.Columns = make([]ColumnStats, ncols)
+
+	for ci := 0; ci < ncols; ci++ {
+		cs := &ts.Columns[ci]
+		cs.Name = meta.Columns[ci].Name
+		cs.Kind = meta.Columns[ci].Type
+
+		var widths float64
+		nonNull := 0
+		counts := make(map[string]int, 1024)
+		numeric := cs.Kind != types.KindString
+		var vals []float64
+		if numeric {
+			vals = make([]float64, 0, len(rows))
+		}
+		for _, r := range rows {
+			v := r[ci]
+			widths += float64(v.Width())
+			if v.IsNull() {
+				continue
+			}
+			nonNull++
+			counts[v.Key()]++
+			if numeric {
+				vals = append(vals, v.AsFloat())
+			}
+		}
+		n := len(rows)
+		if n > 0 {
+			cs.AvgWidth = widths / float64(n)
+			cs.NullFrac = float64(n-nonNull) / float64(n)
+		}
+		totalWidth += cs.AvgWidth
+		cs.NDV = float64(len(counts))
+		if nonNull == 0 {
+			continue
+		}
+
+		// MCV list from value counts.
+		type kc struct {
+			k string
+			c int
+		}
+		kcs := make([]kc, 0, len(counts))
+		for k, c := range counts {
+			kcs = append(kcs, kc{k, c})
+		}
+		sort.Slice(kcs, func(i, j int) bool {
+			if kcs[i].c != kcs[j].c {
+				return kcs[i].c > kcs[j].c
+			}
+			return kcs[i].k < kcs[j].k
+		})
+		top := MCVEntries
+		if top > len(kcs) {
+			top = len(kcs)
+		}
+		for _, e := range kcs[:top] {
+			cs.MCVs = append(cs.MCVs, MCV{Key: e.k, Freq: float64(e.c) / float64(nonNull)})
+		}
+
+		// Numeric histogram for orderable non-string columns.
+		if !numeric {
+			continue
+		}
+		sort.Float64s(vals)
+		cs.Min, cs.Max = vals[0], vals[len(vals)-1]
+		cs.Bounds = equiDepthBounds(vals, HistogramBins)
+	}
+
+	ts.AvgWidth = totalWidth
+	rowsPerPage := float64(PageSize) / (totalWidth + 24) // 24B tuple header overhead
+	if rowsPerPage < 1 {
+		rowsPerPage = 1
+	}
+	ts.Pages = int64(float64(ts.RowCount)/rowsPerPage) + 1
+	return ts
+}
+
+// equiDepthBounds returns bins+1 boundaries over sorted vals such that each
+// bucket holds about the same number of rows.
+func equiDepthBounds(sorted []float64, bins int) []float64 {
+	if len(sorted) == 0 {
+		return nil
+	}
+	if bins > len(sorted) {
+		bins = len(sorted)
+	}
+	bounds := make([]float64, bins+1)
+	for b := 0; b <= bins; b++ {
+		idx := b * (len(sorted) - 1) / bins
+		bounds[b] = sorted[idx]
+	}
+	return bounds
+}
+
+// HistogramSelectivityLE estimates P(col <= x) from the histogram via
+// linear interpolation within the containing bucket.
+func (cs *ColumnStats) HistogramSelectivityLE(x float64) float64 {
+	b := cs.Bounds
+	if len(b) < 2 {
+		// No histogram: fall back to a range guess from min/max.
+		if cs.Max > cs.Min {
+			f := (x - cs.Min) / (cs.Max - cs.Min)
+			return clamp01(f)
+		}
+		if x >= cs.Max {
+			return 1
+		}
+		return 0
+	}
+	if x < b[0] {
+		return 0
+	}
+	if x >= b[len(b)-1] {
+		return 1
+	}
+	// Binary search for the bucket containing x.
+	lo := sort.SearchFloat64s(b, x)
+	if lo == 0 {
+		lo = 1
+	}
+	// b[lo-1] <= x < b[lo] is not guaranteed by SearchFloat64s when x equals
+	// a boundary; normalize.
+	for lo < len(b) && b[lo] <= x {
+		lo++
+	}
+	if lo >= len(b) {
+		return 1
+	}
+	bucketFrac := 0.5
+	if b[lo] > b[lo-1] {
+		bucketFrac = (x - b[lo-1]) / (b[lo] - b[lo-1])
+	}
+	nb := float64(len(b) - 1)
+	return (float64(lo-1) + bucketFrac) / nb
+}
+
+// EqualitySelectivity estimates P(col = v) using the MCV list first and a
+// uniform 1/NDV fallback for values outside it.
+func (cs *ColumnStats) EqualitySelectivity(v types.Value) float64 {
+	if v.IsNull() {
+		return 0
+	}
+	key := v.Key()
+	var mcvTotal float64
+	for _, m := range cs.MCVs {
+		if m.Key == key {
+			return m.Freq * (1 - cs.NullFrac)
+		}
+		mcvTotal += m.Freq
+	}
+	rest := cs.NDV - float64(len(cs.MCVs))
+	if rest <= 0 {
+		// All distinct values are in the MCV list; an unseen literal
+		// matches nothing, but keep a tiny floor for robustness.
+		return 1e-6
+	}
+	return (1 - mcvTotal) * (1 - cs.NullFrac) / rest
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

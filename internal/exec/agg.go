@@ -1,0 +1,305 @@
+package exec
+
+import (
+	"strings"
+
+	"qpp/internal/plan"
+	"qpp/internal/types"
+)
+
+// aggState accumulates one aggregate function over a group.
+type aggState struct {
+	spec    plan.AggSpec
+	count   int64
+	sum     float64
+	sumIsI  bool
+	sumI    int64
+	minMax  types.Value
+	seenAny bool
+	seen    map[string]bool // for DISTINCT aggregates
+}
+
+func newAggStates(specs []plan.AggSpec) []aggState {
+	out := make([]aggState, len(specs))
+	for i, s := range specs {
+		out[i] = aggState{spec: s, sumIsI: s.Arg != nil && s.Arg.Kind() == types.KindInt}
+	}
+	return out
+}
+
+func (a *aggState) update(ctx *execCtx, row plan.Row) {
+	if a.spec.Arg == nil { // count(*)
+		a.count++
+		return
+	}
+	c := a.spec.Arg.Cost()
+	ctx.clock.CPUOps(c.Ops, c.NumericOps)
+	v := a.spec.Arg.Eval(ctx.ectx, row)
+	if v.IsNull() {
+		return
+	}
+	if a.spec.Distinct {
+		if a.seen == nil {
+			a.seen = map[string]bool{}
+		}
+		key := v.Key()
+		if a.seen[key] {
+			return
+		}
+		a.seen[key] = true
+		ctx.clock.HashOps(1)
+	}
+	a.count++
+	switch a.spec.Func {
+	case plan.AggCount:
+		// count only
+	case plan.AggSum, plan.AggAvg:
+		if v.Kind == types.KindFloat {
+			ctx.clock.CPUOps(0, 1) // software-numeric accumulation
+		} else {
+			ctx.clock.CPUOps(1, 0)
+		}
+		if a.sumIsI && v.Kind == types.KindInt {
+			a.sumI += v.I
+		} else {
+			a.sumIsI = false
+			a.sum += v.AsFloat()
+		}
+	case plan.AggMin:
+		ctx.clock.CPUOps(1, 0)
+		if !a.seenAny || types.Compare(v, a.minMax) < 0 {
+			a.minMax = v
+		}
+	case plan.AggMax:
+		ctx.clock.CPUOps(1, 0)
+		if !a.seenAny || types.Compare(v, a.minMax) > 0 {
+			a.minMax = v
+		}
+	}
+	a.seenAny = true
+}
+
+func (a *aggState) result() types.Value {
+	switch a.spec.Func {
+	case plan.AggCount:
+		return types.Int(a.count)
+	case plan.AggSum:
+		if !a.seenAny {
+			return types.Null
+		}
+		if a.sumIsI {
+			return types.Int(a.sumI)
+		}
+		return types.Float(a.sum + float64(a.sumI))
+	case plan.AggAvg:
+		if a.count == 0 {
+			return types.Null
+		}
+		return types.Float((a.sum + float64(a.sumI)) / float64(a.count))
+	case plan.AggMin, plan.AggMax:
+		if !a.seenAny {
+			return types.Null
+		}
+		return a.minMax
+	}
+	return types.Null
+}
+
+// aggregate implements HashAggregate (hashed groups), GroupAggregate
+// (input pre-sorted on the group keys), and plain Aggregate (no groups).
+// Output rows are the group key values followed by the aggregate results;
+// the node filter implements HAVING.
+type aggregate struct {
+	node  *plan.Node
+	child iterator
+
+	results    []plan.Row
+	pos        int
+	filterCost plan.ExprCost
+	groupCosts plan.ExprCost
+	drained    bool
+}
+
+// Open implements iterator.
+func (a *aggregate) Open(ctx *execCtx) error {
+	if a.node.Filter != nil {
+		a.filterCost = a.node.Filter.Cost()
+	}
+	for _, g := range a.node.GroupBy {
+		a.groupCosts = plan.ExprCost{
+			Ops:        a.groupCosts.Ops + g.Cost().Ops,
+			NumericOps: a.groupCosts.NumericOps + g.Cost().NumericOps,
+		}
+	}
+	a.results = nil
+	a.pos = 0
+	a.drained = false
+	return a.child.Open(ctx)
+}
+
+func (a *aggregate) drain(ctx *execCtx) error {
+	a.drained = true
+	switch a.node.Op {
+	case plan.OpGroupAgg:
+		return a.drainSorted(ctx)
+	default:
+		return a.drainHashed(ctx)
+	}
+}
+
+func (a *aggregate) groupKeyVals(ctx *execCtx, row plan.Row) ([]types.Value, string) {
+	vals := make([]types.Value, len(a.node.GroupBy))
+	var sb strings.Builder
+	ctx.clock.CPUOps(a.groupCosts.Ops, a.groupCosts.NumericOps)
+	for i, g := range a.node.GroupBy {
+		vals[i] = g.Eval(ctx.ectx, row)
+		if i > 0 {
+			sb.WriteByte(0)
+		}
+		sb.WriteString(vals[i].Key())
+	}
+	return vals, sb.String()
+}
+
+func (a *aggregate) drainHashed(ctx *execCtx) error {
+	type group struct {
+		keys   []types.Value
+		states []aggState
+	}
+	groups := map[string]*group{}
+	var order []string // deterministic output order: first appearance
+	for {
+		row, ok, err := a.child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		ctx.clock.CPUTuples(1)
+		var g *group
+		if len(a.node.GroupBy) == 0 {
+			if len(groups) == 0 {
+				g = &group{states: newAggStates(a.node.Aggs)}
+				groups[""] = g
+				order = append(order, "")
+			} else {
+				g = groups[""]
+			}
+		} else {
+			keys, key := a.groupKeyVals(ctx, row)
+			ctx.clock.HashOps(1)
+			var ok bool
+			g, ok = groups[key]
+			if !ok {
+				g = &group{keys: keys, states: newAggStates(a.node.Aggs)}
+				groups[key] = g
+				order = append(order, key)
+			}
+		}
+		for i := range g.states {
+			g.states[i].update(ctx, row)
+		}
+	}
+	// A query with no GROUP BY emits exactly one row even on empty input.
+	if len(a.node.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &group{states: newAggStates(a.node.Aggs)}
+		order = append(order, "")
+	}
+	// Spill accounting when the group table exceeds work_mem.
+	var bytes float64
+	for _, g := range groups {
+		bytes += float64(len(g.keys)+len(g.states)) * 16
+	}
+	if workBytes := float64(ctx.clock.WorkMemPages()) * 8192; bytes > workBytes {
+		pages := (bytes - workBytes) / 8192
+		ctx.clock.SpillPages(pages)
+		a.node.Act.Pages += pages
+	}
+	ctx.clock.Barrier()
+	for _, key := range order {
+		g := groups[key]
+		a.emit(ctx, g.keys, g.states)
+	}
+	return nil
+}
+
+func (a *aggregate) drainSorted(ctx *execCtx) error {
+	var curKey string
+	var curKeys []types.Value
+	var states []aggState
+	started := false
+	for {
+		row, ok, err := a.child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		ctx.clock.CPUTuples(1)
+		keys, key := a.groupKeyVals(ctx, row)
+		if !started || key != curKey {
+			if started {
+				a.emit(ctx, curKeys, states)
+			}
+			curKey, curKeys = key, keys
+			states = newAggStates(a.node.Aggs)
+			started = true
+		}
+		for i := range states {
+			states[i].update(ctx, row)
+		}
+	}
+	if started {
+		a.emit(ctx, curKeys, states)
+	} else if len(a.node.GroupBy) == 0 {
+		a.emit(ctx, nil, newAggStates(a.node.Aggs))
+	}
+	ctx.clock.Barrier()
+	return nil
+}
+
+func (a *aggregate) emit(ctx *execCtx, keys []types.Value, states []aggState) {
+	out := make(plan.Row, 0, len(keys)+len(states))
+	out = append(out, keys...)
+	for i := range states {
+		out = append(out, states[i].result())
+	}
+	if evalFilter(ctx, a.node.Filter, a.filterCost, out) {
+		a.results = append(a.results, out)
+	}
+}
+
+// Next implements iterator.
+func (a *aggregate) Next(ctx *execCtx) (plan.Row, bool, error) {
+	if !a.drained {
+		if err := a.drain(ctx); err != nil {
+			return nil, false, err
+		}
+	}
+	if a.pos >= len(a.results) {
+		return nil, false, nil
+	}
+	row := a.results[a.pos]
+	a.pos++
+	ctx.clock.CPUTuples(1)
+	return row, true, nil
+}
+
+// ReScan implements iterator.
+func (a *aggregate) ReScan(ctx *execCtx, outer plan.Row) error {
+	// Aggregates over parameterized children must recompute; otherwise the
+	// buffered results can simply replay.
+	if len(a.node.LookupExprs) > 0 || outer != nil {
+		a.results = nil
+		a.drained = false
+		a.pos = 0
+		return a.child.ReScan(ctx, outer)
+	}
+	a.pos = 0
+	return nil
+}
+
+// Close implements iterator.
+func (a *aggregate) Close() { a.child.Close() }

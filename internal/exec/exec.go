@@ -1,0 +1,337 @@
+// Package exec is the query executor: a Volcano-style iterator engine over
+// the physical plans produced by the optimizer. Every operator charges its
+// work (page reads, per-tuple CPU, hashing, sorting, spills) to a virtual
+// device clock, and every plan node is wrapped in an instrumentation layer
+// that records the paper's two timing observables — start-time (virtual
+// time until the first output tuple) and run-time (total virtual time of
+// the sub-plan rooted at the node) — plus actual row and page counts.
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"qpp/internal/plan"
+	"qpp/internal/storage"
+	"qpp/internal/types"
+	"qpp/internal/vclock"
+)
+
+// ErrTimeout is returned when a query exceeds the virtual time limit,
+// mirroring the paper's one-hour execution cap.
+var ErrTimeout = errors.New("exec: query exceeded virtual time limit")
+
+// Options configures a query execution.
+type Options struct {
+	// TimeLimit aborts the query when virtual time passes this many
+	// seconds; zero means no limit.
+	TimeLimit float64
+}
+
+// Result is the outcome of a query execution.
+type Result struct {
+	Rows []plan.Row
+	// Elapsed is the total virtual execution time in seconds.
+	Elapsed float64
+}
+
+// execCtx carries shared execution state.
+type execCtx struct {
+	db    *storage.Database
+	clock *vclock.Clock
+	ectx  *plan.Ctx
+	limit float64
+}
+
+func (c *execCtx) overTime() bool {
+	return c.limit > 0 && c.clock.Now() > c.limit
+}
+
+// iterator is the operator contract.
+type iterator interface {
+	// Open prepares the operator for its first scan.
+	Open(*execCtx) error
+	// Next produces the next row; ok=false signals exhaustion.
+	Next(*execCtx) (row plan.Row, ok bool, err error)
+	// ReScan resets the operator for another pass. outer carries the
+	// current outer row for parameterized inner scans (nil otherwise).
+	ReScan(ctx *execCtx, outer plan.Row) error
+	// Close releases resources.
+	Close()
+}
+
+// Run executes the plan rooted at root against db, charging clock.
+// Per-node actuals are reset and then populated on root's tree, including
+// init-plans and sub-plans.
+func Run(db *storage.Database, root *plan.Node, clock *vclock.Clock, opts Options) (*Result, error) {
+	root.Walk(func(n *plan.Node) { n.Act = plan.Actuals{} })
+
+	ectx := &plan.Ctx{Params: make([]types.Value, root.NumParams)}
+	ctx := &execCtx{db: db, clock: clock, ectx: ectx, limit: opts.TimeLimit}
+
+	// Correlated sub-plans are (re)executed on demand through this hook.
+	ectx.RunSubPlan = func(idx int, args []types.Value) (types.Value, error) {
+		if idx < 0 || idx >= len(root.SubPlans) {
+			return types.Null, fmt.Errorf("exec: no sub-plan %d", idx)
+		}
+		sp := root.SubPlans[idx]
+		for i, slot := range root.SubPlanArgSlots[idx] {
+			ectx.Params[slot] = args[i]
+		}
+		return runScalarPlan(ctx, sp)
+	}
+
+	// Init-plans run once, before the main tree.
+	for i, ip := range root.InitPlans {
+		v, err := runScalarPlan(ctx, ip)
+		if err != nil {
+			return nil, fmt.Errorf("exec: init-plan %d: %w", i+1, err)
+		}
+		ectx.Params[root.InitPlanSlots[i]] = v
+	}
+
+	it, err := build(ctx, root)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	if err := it.Open(ctx); err != nil {
+		return nil, err
+	}
+	var out []plan.Row
+	for {
+		row, ok, err := it.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, row)
+	}
+	if ectx.Err != nil {
+		return nil, ectx.Err
+	}
+	return &Result{Rows: out, Elapsed: clock.Now()}, nil
+}
+
+// runScalarPlan executes a sub-plan to completion and returns its single
+// scalar output (NULL when it yields no rows). Instrumentation on the
+// sub-plan's nodes accumulates across invocations.
+func runScalarPlan(ctx *execCtx, p *plan.Node) (types.Value, error) {
+	it, err := build(ctx, p)
+	if err != nil {
+		return types.Null, err
+	}
+	defer it.Close()
+	if err := it.Open(ctx); err != nil {
+		return types.Null, err
+	}
+	row, ok, err := it.Next(ctx)
+	if err != nil {
+		return types.Null, err
+	}
+	if !ok {
+		return types.Null, nil
+	}
+	// Drain remaining rows (scalar sub-plans should yield at most one, but
+	// aggregate-less correlated plans may not be limited).
+	for {
+		_, more, err := it.Next(ctx)
+		if err != nil {
+			return types.Null, err
+		}
+		if !more {
+			break
+		}
+	}
+	if len(row) == 0 {
+		return types.Null, nil
+	}
+	return row[0], nil
+}
+
+// build constructs the iterator tree for a plan node, wrapping every
+// operator in instrumentation.
+func build(ctx *execCtx, n *plan.Node) (iterator, error) {
+	var inner iterator
+	switch n.Op {
+	case plan.OpSeqScan:
+		t, ok := ctx.db.Table(n.Table)
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown table %q", n.Table)
+		}
+		inner = &seqScan{node: n, table: t}
+	case plan.OpIndexScan:
+		t, ok := ctx.db.Table(n.Table)
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown table %q", n.Table)
+		}
+		idx, ok := ctx.db.PrimaryIndex(n.Table)
+		if !ok {
+			return nil, fmt.Errorf("exec: table %q has no index", n.Table)
+		}
+		inner = &indexScan{node: n, table: t, index: idx}
+	case plan.OpResult, plan.OpSubqueryScan:
+		child, err := build(ctx, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		inner = &project{node: n, child: child}
+	case plan.OpLimit:
+		child, err := build(ctx, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		inner = &limit{node: n, child: child}
+	case plan.OpSort:
+		child, err := build(ctx, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		inner = &sortOp{node: n, child: child}
+	case plan.OpMaterialize:
+		child, err := build(ctx, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		inner = &materialize{node: n, child: child}
+	case plan.OpHash:
+		child, err := build(ctx, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		inner = &passthrough{node: n, child: child}
+	case plan.OpHashJoin, plan.OpHashSemiJoin, plan.OpHashAntiJoin:
+		left, err := build(ctx, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		right, err := build(ctx, n.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		inner = &hashJoin{node: n, left: left, right: right}
+	case plan.OpMergeJoin:
+		left, err := build(ctx, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		right, err := build(ctx, n.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		inner = &mergeJoin{node: n, left: left, right: right}
+	case plan.OpNestedLoop:
+		left, err := build(ctx, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		right, err := build(ctx, n.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		inner = &nestedLoop{node: n, outer: left, inner: right}
+	case plan.OpHashAggregate, plan.OpGroupAgg, plan.OpAggregate:
+		child, err := build(ctx, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		inner = &aggregate{node: n, child: child}
+	default:
+		return nil, fmt.Errorf("exec: unsupported operator %q", n.Op)
+	}
+	return &instrumented{inner: inner, node: n}, nil
+}
+
+// instrumented measures inclusive virtual time, rows, and loops for one
+// plan node. Because execution is single-threaded over one clock, the time
+// consumed inside this operator's calls (including its children's work) is
+// exactly the clock delta across the call.
+type instrumented struct {
+	inner    iterator
+	node     *plan.Node
+	acc      float64 // inclusive virtual time consumed so far
+	firstSet bool
+}
+
+func (w *instrumented) settle(ctx *execCtx, t0 float64) {
+	w.acc += ctx.clock.Now() - t0
+	w.node.Act.RunTime = w.acc
+}
+
+// Open implements iterator.
+func (w *instrumented) Open(ctx *execCtx) error {
+	t0 := ctx.clock.Now()
+	w.node.Act.Executed = true
+	w.node.Act.Loops++
+	err := w.inner.Open(ctx)
+	w.settle(ctx, t0)
+	return err
+}
+
+// Next implements iterator.
+func (w *instrumented) Next(ctx *execCtx) (plan.Row, bool, error) {
+	if ctx.overTime() {
+		return nil, false, ErrTimeout
+	}
+	if ctx.ectx.Err != nil {
+		return nil, false, ctx.ectx.Err
+	}
+	t0 := ctx.clock.Now()
+	row, ok, err := w.inner.Next(ctx)
+	w.settle(ctx, t0)
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		w.node.Act.Rows++
+		if !w.firstSet {
+			w.node.Act.StartTime = w.acc
+			w.firstSet = true
+		}
+	} else {
+		w.node.Act.CompletedAt = ctx.clock.Now()
+	}
+	return row, ok, nil
+}
+
+// ReScan implements iterator.
+func (w *instrumented) ReScan(ctx *execCtx, outer plan.Row) error {
+	t0 := ctx.clock.Now()
+	w.node.Act.Loops++
+	err := w.inner.ReScan(ctx, outer)
+	w.settle(ctx, t0)
+	return err
+}
+
+// Close implements iterator.
+func (w *instrumented) Close() { w.inner.Close() }
+
+// evalFilter applies a node's filter expression, charging its CPU cost.
+func evalFilter(ctx *execCtx, f plan.Scalar, cost plan.ExprCost, row plan.Row) bool {
+	if f == nil {
+		return true
+	}
+	ctx.clock.CPUOps(cost.Ops, cost.NumericOps)
+	return f.Eval(ctx.ectx, row).IsTrue()
+}
+
+// passthrough forwards its child unchanged; it exists so Hash nodes show
+// up in instrumentation the way PostgreSQL displays them.
+type passthrough struct {
+	node  *plan.Node
+	child iterator
+}
+
+// Open implements iterator.
+func (p *passthrough) Open(ctx *execCtx) error { return p.child.Open(ctx) }
+
+// Next implements iterator.
+func (p *passthrough) Next(ctx *execCtx) (plan.Row, bool, error) { return p.child.Next(ctx) }
+
+// ReScan implements iterator.
+func (p *passthrough) ReScan(ctx *execCtx, outer plan.Row) error { return p.child.ReScan(ctx, outer) }
+
+// Close implements iterator.
+func (p *passthrough) Close() { p.child.Close() }

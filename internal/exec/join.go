@@ -1,0 +1,495 @@
+package exec
+
+import (
+	"strings"
+
+	"qpp/internal/plan"
+	"qpp/internal/types"
+)
+
+// joinKey renders the hash-key values of a row into a map key; a null in
+// any key column yields ok=false (nulls never join).
+func joinKey(ctx *execCtx, exprs []plan.Scalar, row plan.Row) (string, bool) {
+	var sb strings.Builder
+	for i, e := range exprs {
+		v := e.Eval(ctx.ectx, row)
+		if v.IsNull() {
+			return "", false
+		}
+		if i > 0 {
+			sb.WriteByte(0)
+		}
+		sb.WriteString(v.Key())
+	}
+	return sb.String(), true
+}
+
+// hashJoin implements inner, left-outer, semi, and anti hash joins. The
+// right child (wrapped in a Hash node by the planner) is the build side.
+type hashJoin struct {
+	node  *plan.Node
+	left  iterator
+	right iterator
+
+	table      map[string][]plan.Row
+	built      bool
+	nullRight  plan.Row
+	cur        plan.Row // current left row with pending matches
+	curMatches []plan.Row
+	curIdx     int
+	filterCost plan.ExprCost
+	joinCost   plan.ExprCost
+	buildRows  float64
+	buildBytes float64
+}
+
+// Open implements iterator.
+func (h *hashJoin) Open(ctx *execCtx) error {
+	if h.node.Filter != nil {
+		h.filterCost = h.node.Filter.Cost()
+	}
+	if h.node.JoinFilter != nil {
+		h.joinCost = h.node.JoinFilter.Cost()
+	}
+	h.nullRight = make(plan.Row, len(h.node.Children[1].Cols))
+	for i := range h.nullRight {
+		h.nullRight[i] = types.Null
+	}
+	if err := h.left.Open(ctx); err != nil {
+		return err
+	}
+	return h.build(ctx)
+}
+
+func (h *hashJoin) build(ctx *execCtx) error {
+	h.table = make(map[string][]plan.Row)
+	h.built = true
+	h.buildRows, h.buildBytes = 0, 0
+	if err := h.right.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		row, ok, err := h.right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key, ok := joinKey(ctx, h.node.HashKeysR, row)
+		if !ok {
+			continue
+		}
+		ctx.clock.HashOps(1)
+		h.table[key] = append(h.table[key], row)
+		h.buildRows++
+		for _, v := range row {
+			h.buildBytes += float64(v.Width())
+		}
+	}
+	// Spill batches when the build side exceeds work_mem, as a real hash
+	// join would (charged as write+read of the overflow).
+	workBytes := float64(ctx.clock.WorkMemPages()) * 8192
+	if h.buildBytes > workBytes {
+		overflowPages := (h.buildBytes - workBytes) / 8192
+		ctx.clock.SpillPages(overflowPages)
+		h.node.Act.Pages += overflowPages
+	}
+	ctx.clock.Barrier()
+	return nil
+}
+
+// Next implements iterator.
+func (h *hashJoin) Next(ctx *execCtx) (plan.Row, bool, error) {
+	for {
+		// Emit pending matches of the current left row. curMatches have
+		// already passed the join filter.
+		for h.cur != nil && h.curIdx < len(h.curMatches) {
+			right := h.curMatches[h.curIdx]
+			h.curIdx++
+			out := concatRows(h.cur, right)
+			ctx.clock.CPUTuples(1)
+			if !evalFilter(ctx, h.node.Filter, h.filterCost, out) {
+				continue
+			}
+			return out, true, nil
+		}
+		h.cur = nil
+
+		left, ok, err := h.left.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		ctx.clock.HashOps(1)
+		key, hasKey := joinKey(ctx, h.node.HashKeysL, left)
+		var matches []plan.Row
+		if hasKey {
+			matches = h.table[key]
+		}
+		// Apply the join filter for semi/anti/left semantics before deciding
+		// match existence.
+		if h.node.JoinFilter != nil && len(matches) > 0 {
+			var kept []plan.Row
+			for _, r := range matches {
+				if evalFilter(ctx, h.node.JoinFilter, h.joinCost, concatRows(left, r)) {
+					kept = append(kept, r)
+				}
+			}
+			matches = kept
+		}
+		switch h.node.JoinType {
+		case plan.JoinSemi:
+			if len(matches) > 0 {
+				ctx.clock.CPUTuples(1)
+				if evalFilter(ctx, h.node.Filter, h.filterCost, left) {
+					return left, true, nil
+				}
+			}
+		case plan.JoinAnti:
+			if len(matches) == 0 {
+				ctx.clock.CPUTuples(1)
+				if evalFilter(ctx, h.node.Filter, h.filterCost, left) {
+					return left, true, nil
+				}
+			}
+		case plan.JoinLeft:
+			if len(matches) == 0 {
+				out := concatRows(left, h.nullRight)
+				ctx.clock.CPUTuples(1)
+				if evalFilter(ctx, h.node.Filter, h.filterCost, out) {
+					return out, true, nil
+				}
+				continue
+			}
+			h.cur = left
+			h.curMatches = matches
+			h.curIdx = 0
+		default: // inner
+			if len(matches) > 0 {
+				h.cur = left
+				h.curMatches = matches
+				h.curIdx = 0
+			}
+		}
+	}
+}
+
+// ReScan implements iterator.
+func (h *hashJoin) ReScan(ctx *execCtx, outer plan.Row) error {
+	h.cur = nil
+	h.curMatches = nil
+	// The hash table survives a rescan; only the probe side restarts.
+	return h.left.ReScan(ctx, outer)
+}
+
+// Close implements iterator.
+func (h *hashJoin) Close() {
+	h.left.Close()
+	h.right.Close()
+	h.table = nil
+}
+
+// nestedLoop joins by rescanning the inner side per outer row; the inner
+// is typically a Materialize node or a parameterized index scan.
+type nestedLoop struct {
+	node       *plan.Node
+	outer      iterator
+	inner      iterator
+	curOuter   plan.Row
+	innerValid bool
+	matched    bool
+	nullInner  plan.Row
+	joinCost   plan.ExprCost
+	filterCost plan.ExprCost
+}
+
+// Open implements iterator.
+func (n *nestedLoop) Open(ctx *execCtx) error {
+	if n.node.JoinFilter != nil {
+		n.joinCost = n.node.JoinFilter.Cost()
+	}
+	if n.node.Filter != nil {
+		n.filterCost = n.node.Filter.Cost()
+	}
+	n.nullInner = make(plan.Row, len(n.node.Children[1].Cols))
+	for i := range n.nullInner {
+		n.nullInner[i] = types.Null
+	}
+	n.curOuter = nil
+	n.innerValid = false
+	if err := n.outer.Open(ctx); err != nil {
+		return err
+	}
+	return n.inner.Open(ctx)
+}
+
+// Next implements iterator.
+func (n *nestedLoop) Next(ctx *execCtx) (plan.Row, bool, error) {
+	for {
+		if n.curOuter == nil {
+			row, ok, err := n.outer.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				return nil, false, nil
+			}
+			n.curOuter = row
+			n.matched = false
+			if err := n.inner.ReScan(ctx, row); err != nil {
+				return nil, false, err
+			}
+			n.innerValid = true
+		}
+		inner, ok, err := n.inner.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			outerRow := n.curOuter
+			wasMatched := n.matched
+			n.curOuter = nil
+			switch n.node.JoinType {
+			case plan.JoinAnti:
+				if !wasMatched {
+					ctx.clock.CPUTuples(1)
+					if evalFilter(ctx, n.node.Filter, n.filterCost, outerRow) {
+						return outerRow, true, nil
+					}
+				}
+			case plan.JoinLeft:
+				if !wasMatched {
+					out := concatRows(outerRow, n.nullInner)
+					ctx.clock.CPUTuples(1)
+					if evalFilter(ctx, n.node.Filter, n.filterCost, out) {
+						return out, true, nil
+					}
+				}
+			}
+			continue
+		}
+		out := concatRows(n.curOuter, inner)
+		ctx.clock.CPUTuples(1)
+		if n.node.JoinFilter != nil && !evalFilter(ctx, n.node.JoinFilter, n.joinCost, out) {
+			continue
+		}
+		n.matched = true
+		switch n.node.JoinType {
+		case plan.JoinSemi:
+			outerRow := n.curOuter
+			n.curOuter = nil // advance after first match
+			if evalFilter(ctx, n.node.Filter, n.filterCost, outerRow) {
+				return outerRow, true, nil
+			}
+		case plan.JoinAnti:
+			n.curOuter = nil // disqualified; next outer row
+		default:
+			if evalFilter(ctx, n.node.Filter, n.filterCost, out) {
+				return out, true, nil
+			}
+		}
+	}
+}
+
+// ReScan implements iterator.
+func (n *nestedLoop) ReScan(ctx *execCtx, outer plan.Row) error {
+	n.curOuter = nil
+	return n.outer.ReScan(ctx, outer)
+}
+
+// Close implements iterator.
+func (n *nestedLoop) Close() {
+	n.outer.Close()
+	n.inner.Close()
+}
+
+// mergeJoin joins two inputs sorted on their merge keys (inner join only;
+// the planner only selects it for inner equi-joins over ordered inputs).
+type mergeJoin struct {
+	node  *plan.Node
+	left  iterator
+	right iterator
+
+	leftRow    plan.Row
+	leftOK     bool
+	rightRows  []plan.Row // buffered right group with equal key
+	rightNext  plan.Row
+	rightOK    bool
+	groupIdx   int
+	filterCost plan.ExprCost
+	joinCost   plan.ExprCost
+}
+
+// Open implements iterator.
+func (m *mergeJoin) Open(ctx *execCtx) error {
+	if m.node.Filter != nil {
+		m.filterCost = m.node.Filter.Cost()
+	}
+	if m.node.JoinFilter != nil {
+		m.joinCost = m.node.JoinFilter.Cost()
+	}
+	if err := m.left.Open(ctx); err != nil {
+		return err
+	}
+	if err := m.right.Open(ctx); err != nil {
+		return err
+	}
+	m.leftRow, m.leftOK = nil, false
+	m.rightRows = nil
+	m.rightNext, m.rightOK = nil, false
+	var err error
+	m.leftRow, m.leftOK, err = m.left.Next(ctx)
+	if err != nil {
+		return err
+	}
+	m.rightNext, m.rightOK, err = m.right.Next(ctx)
+	return err
+}
+
+func (m *mergeJoin) cmpKeys(a, b plan.Row) int {
+	for i := range m.node.MergeKeysL {
+		va := a[m.node.MergeKeysL[i]]
+		vb := b[m.node.MergeKeysR[i]]
+		if va.IsNull() || vb.IsNull() {
+			if va.IsNull() && vb.IsNull() {
+				continue
+			}
+			if va.IsNull() {
+				return 1
+			}
+			return -1
+		}
+		if c := types.Compare(va, vb); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Next implements iterator.
+func (m *mergeJoin) Next(ctx *execCtx) (plan.Row, bool, error) {
+	for {
+		// Emit pending pairs from the buffered right group.
+		if m.groupIdx < len(m.rightRows) {
+			right := m.rightRows[m.groupIdx]
+			m.groupIdx++
+			out := concatRows(m.leftRow, right)
+			ctx.clock.CPUTuples(1)
+			if m.node.JoinFilter != nil && !evalFilter(ctx, m.node.JoinFilter, m.joinCost, out) {
+				continue
+			}
+			if !evalFilter(ctx, m.node.Filter, m.filterCost, out) {
+				continue
+			}
+			return out, true, nil
+		}
+		if !m.leftOK {
+			return nil, false, nil
+		}
+		if len(m.rightRows) > 0 {
+			// Advance left; if the key is unchanged, replay the group.
+			prev := m.leftRow
+			var err error
+			m.leftRow, m.leftOK, err = m.left.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if m.leftOK && m.sameLeftKey(prev, m.leftRow) {
+				m.groupIdx = 0
+				continue
+			}
+			m.rightRows = nil
+			continue
+		}
+		// Align the two sides.
+		if !m.rightOK {
+			return nil, false, nil
+		}
+		ctx.clock.CPUTuples(1)
+		c := m.cmpKeys(m.leftRow, m.rightNext)
+		switch {
+		case c < 0:
+			var err error
+			m.leftRow, m.leftOK, err = m.left.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !m.leftOK {
+				return nil, false, nil
+			}
+		case c > 0:
+			var err error
+			m.rightNext, m.rightOK, err = m.right.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !m.rightOK {
+				return nil, false, nil
+			}
+		default:
+			// Buffer the full right group with this key.
+			m.rightRows = m.rightRows[:0]
+			first := m.rightNext
+			m.rightRows = append(m.rightRows, first)
+			for {
+				var err error
+				m.rightNext, m.rightOK, err = m.right.Next(ctx)
+				if err != nil {
+					return nil, false, err
+				}
+				if !m.rightOK || m.cmpKeys(m.leftRow, m.rightNext) != 0 {
+					break
+				}
+				m.rightRows = append(m.rightRows, m.rightNext)
+			}
+			m.groupIdx = 0
+		}
+	}
+}
+
+func (m *mergeJoin) sameLeftKey(a, b plan.Row) bool {
+	for _, k := range m.node.MergeKeysL {
+		va, vb := a[k], b[k]
+		if va.IsNull() || vb.IsNull() {
+			return false
+		}
+		if types.Compare(va, vb) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ReScan implements iterator.
+func (m *mergeJoin) ReScan(ctx *execCtx, outer plan.Row) error {
+	if err := m.left.ReScan(ctx, outer); err != nil {
+		return err
+	}
+	if err := m.right.ReScan(ctx, outer); err != nil {
+		return err
+	}
+	m.rightRows = nil
+	m.groupIdx = 0
+	var err error
+	m.leftRow, m.leftOK, err = m.left.Next(ctx)
+	if err != nil {
+		return err
+	}
+	m.rightNext, m.rightOK, err = m.right.Next(ctx)
+	return err
+}
+
+// Close implements iterator.
+func (m *mergeJoin) Close() {
+	m.left.Close()
+	m.right.Close()
+}
+
+func concatRows(a, b plan.Row) plan.Row {
+	out := make(plan.Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}

@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"qpp/internal/plan"
+	"qpp/internal/storage"
+	"qpp/internal/types"
+)
+
+// seqScan reads a heap table in storage order, charging sequential page
+// reads at page boundaries and per-tuple CPU, and applies the node filter.
+type seqScan struct {
+	node       *plan.Node
+	table      *storage.Table
+	pos        int
+	lastPage   int64
+	filterCost plan.ExprCost
+}
+
+// Open implements iterator.
+func (s *seqScan) Open(_ *execCtx) error {
+	s.pos = 0
+	s.lastPage = -1
+	if s.node.Filter != nil {
+		s.filterCost = s.node.Filter.Cost()
+	}
+	return nil
+}
+
+// Next implements iterator.
+func (s *seqScan) Next(ctx *execCtx) (plan.Row, bool, error) {
+	for s.pos < len(s.table.Rows) {
+		if pg := s.table.PageOf(s.pos); pg != s.lastPage {
+			ctx.clock.ReadPage(s.table.Meta.Name, pg, true)
+			s.node.Act.Pages++
+			s.lastPage = pg
+		}
+		row := s.table.Rows[s.pos]
+		s.pos++
+		ctx.clock.CPUTuples(1)
+		if evalFilter(ctx, s.node.Filter, s.filterCost, row) {
+			return row, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// ReScan implements iterator.
+func (s *seqScan) ReScan(_ *execCtx, _ plan.Row) error {
+	s.pos = 0
+	s.lastPage = -1
+	return nil
+}
+
+// Close implements iterator.
+func (s *seqScan) Close() {}
+
+// indexScan fetches rows through the table's primary-key index. It runs in
+// one of three modes: constant-key lookup (keys known at plan time),
+// parameterized lookup (keys from the enclosing nested loop's outer row),
+// or a full ordered scan (for merge joins). Heap fetches are charged as
+// random page reads, softened by the buffer cache.
+type indexScan struct {
+	node       *plan.Node
+	table      *storage.Table
+	index      *storage.Index
+	matches    []int
+	pos        int
+	filterCost plan.ExprCost
+}
+
+// Open implements iterator.
+func (s *indexScan) Open(ctx *execCtx) error {
+	if s.node.Filter != nil {
+		s.filterCost = s.node.Filter.Cost()
+	}
+	return s.reposition(ctx, nil)
+}
+
+func (s *indexScan) reposition(ctx *execCtx, outer plan.Row) error {
+	s.pos = 0
+	switch {
+	case len(s.node.LookupExprs) > 0:
+		if outer == nil {
+			// No outer row yet (plain Open before the loop starts); empty.
+			s.matches = nil
+			return nil
+		}
+		keys := make([]types.Value, len(s.node.LookupExprs))
+		for i, e := range s.node.LookupExprs {
+			keys[i] = e.Eval(ctx.ectx, outer)
+			if keys[i].IsNull() {
+				s.matches = nil
+				return nil
+			}
+		}
+		s.lookup(ctx, keys)
+	case len(s.node.LookupConsts) > 0:
+		keys := make([]types.Value, len(s.node.LookupConsts))
+		for i, e := range s.node.LookupConsts {
+			keys[i] = e.Eval(ctx.ectx, nil)
+		}
+		s.lookup(ctx, keys)
+	default:
+		// Full ordered scan.
+		s.matches = s.index.Ordered()
+	}
+	return nil
+}
+
+func (s *indexScan) lookup(ctx *execCtx, keys []types.Value) {
+	if len(keys) == len(s.index.Cols) {
+		s.matches = s.index.Lookup(keys)
+	} else {
+		s.matches = s.index.LookupPrefix(keys[0])
+	}
+	// Charge the B-tree descent: the root/internal page (hot, so usually a
+	// cache hit) plus the leaf page holding the first match.
+	ctx.clock.ReadPage(s.index.Name, 0, false)
+	leaf := int64(1)
+	if len(s.matches) > 0 {
+		leaf = 1 + int64(s.matches[0]/200)
+	}
+	ctx.clock.ReadPage(s.index.Name, leaf, false)
+	s.node.Act.Pages += 2
+}
+
+// Next implements iterator.
+func (s *indexScan) Next(ctx *execCtx) (plan.Row, bool, error) {
+	for s.pos < len(s.matches) {
+		rid := s.matches[s.pos]
+		s.pos++
+		pg := s.table.PageOf(rid)
+		ctx.clock.ReadPage(s.table.Meta.Name, pg, false)
+		s.node.Act.Pages++
+		ctx.clock.CPUTuples(1)
+		row := s.table.Rows[rid]
+		if evalFilter(ctx, s.node.Filter, s.filterCost, row) {
+			return row, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// ReScan implements iterator.
+func (s *indexScan) ReScan(ctx *execCtx, outer plan.Row) error {
+	return s.reposition(ctx, outer)
+}
+
+// Close implements iterator.
+func (s *indexScan) Close() {}

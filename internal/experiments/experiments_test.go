@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+var envCache *Env
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	if envCache == nil {
+		cfg := Config{
+			LargeSF:     0.004,
+			SmallSF:     0.002,
+			PerTemplate: 8,
+			Seed:        42,
+			TimeLimit:   300,
+			Folds:       4,
+		}
+		env, err := BuildEnv(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envCache = env
+	}
+	return envCache
+}
+
+func TestBuildEnv(t *testing.T) {
+	env := testEnv(t)
+	if len(env.Large.Records) == 0 || len(env.Small.Records) == 0 {
+		t.Fatal("empty datasets")
+	}
+	// 18 templates x 8 instances, minus any timeouts.
+	if len(env.Large.Records)+timedOutTotal(env.Large.TimedOut) != 18*8 {
+		t.Fatalf("large records %d + timeouts %d != %d",
+			len(env.Large.Records), timedOutTotal(env.Large.TimedOut), 18*8)
+	}
+}
+
+func timedOutTotal(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func TestFig5(t *testing.T) {
+	env := testEnv(t)
+	res, err := Fig5(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(env.Large.Records) {
+		t.Fatal("scatter points")
+	}
+	if res.Slope <= 0 {
+		t.Fatalf("slope %v: cost should correlate positively with time", res.Slope)
+	}
+	if !(res.MinRel <= res.MeanRel && res.MeanRel <= res.MaxRel) {
+		t.Fatalf("error ordering min=%v mean=%v max=%v", res.MinRel, res.MeanRel, res.MaxRel)
+	}
+	// The headline claim: the analytical cost model is a poor latency
+	// predictor — mean relative error far above the learned models'.
+	if res.MeanRel < 0.2 {
+		t.Fatalf("cost baseline suspiciously good: %v", res.MeanRel)
+	}
+	t.Logf("fig5: min=%.2f mean=%.2f max=%.2f risk=%.3f", res.MinRel, res.MeanRel, res.MaxRel, res.PredictiveRisk)
+}
+
+func TestFig6(t *testing.T) {
+	env := testEnv(t)
+	res, err := Fig6(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PlanLarge) != 18 || len(res.OpLarge) != 14 {
+		t.Fatalf("template coverage: plan %d op %d", len(res.PlanLarge), len(res.OpLarge))
+	}
+	if res.PlanLargeMean <= 0 || res.OpLargeMean <= 0 {
+		t.Fatal("means must be positive")
+	}
+	if len(res.PlanLargeScatter) == 0 || len(res.OpLargeScatter) == 0 {
+		t.Fatal("scatter data missing")
+	}
+	// Shape check: on a static workload plan-level beats operator-level.
+	if res.PlanLargeMean >= res.OpLargeMean {
+		t.Logf("warning: plan-level (%.3f) did not beat op-level (%.3f) at this tiny scale",
+			res.PlanLargeMean, res.OpLargeMean)
+	}
+	t.Logf("fig6: plan large=%.3f small=%.3f; op large=%.3f (best %d: %.3f) small=%.3f (best %d: %.3f)",
+		res.PlanLargeMean, res.PlanSmallMean,
+		res.OpLargeMean, res.OpLargeBestN, res.OpLargeBestMean,
+		res.OpSmallMean, res.OpSmallBestN, res.OpSmallBestMean)
+}
+
+func TestFig7(t *testing.T) {
+	env := testEnv(t)
+	res, err := Fig7(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Combos) != 3 {
+		t.Fatalf("combos %d", len(res.Combos))
+	}
+	for _, c := range res.Combos {
+		if math.IsNaN(c.PlanErr) || math.IsNaN(c.OpErr) {
+			t.Fatalf("NaN in combo %+v", c)
+		}
+		t.Logf("fig7 %s/%s: plan=%.3f op=%.3f", c.Train, c.Test, c.PlanErr, c.OpErr)
+	}
+	if len(res.PlanActualByTemplate) != 18 {
+		t.Fatalf("7(b) templates %d", len(res.PlanActualByTemplate))
+	}
+}
+
+func TestFig8(t *testing.T) {
+	env := testEnv(t)
+	res, err := Fig8(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 3 {
+		t.Fatalf("curves %d", len(res.Curves))
+	}
+	for name, curve := range res.Curves {
+		if len(curve) == 0 {
+			t.Fatalf("empty curve for %s", name)
+		}
+		if curve[0].Iter != 0 {
+			t.Fatalf("curve %s must start at iteration 0", name)
+		}
+		t.Logf("fig8 %s: start=%.3f end=%.3f models=%d",
+			name, curve[0].Error, curve[len(curve)-1].Error, res.ModelsAccepted[name])
+	}
+}
+
+func TestFig9(t *testing.T) {
+	env := testEnv(t)
+	res, err := Fig9(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("rows %d want 12", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		for _, v := range []float64{r.PlanLevel, r.OpLevel, r.ErrorBased, r.SizeBased, r.Online} {
+			if math.IsNaN(v) || v < 0 {
+				t.Fatalf("bad value in row %+v", r)
+			}
+		}
+	}
+	t.Logf("fig9 means: plan=%.3f op=%.3f err=%.3f size=%.3f online=%.3f",
+		res.PlanMean, res.OpMean, res.ErrMean, res.SizeMean, res.OnlineMean)
+}
+
+func TestFig4(t *testing.T) {
+	env := testEnv(t)
+	res, err := Fig4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SizeCDF) == 0 {
+		t.Fatal("no common subplans found across templates")
+	}
+	// CDF must be nondecreasing and end at 1.
+	prev := 0.0
+	for _, p := range res.SizeCDF {
+		if p.F < prev {
+			t.Fatal("CDF decreasing")
+		}
+		prev = p.F
+	}
+	if math.Abs(prev-1) > 1e-9 {
+		t.Fatalf("CDF ends at %v", prev)
+	}
+	if len(res.TopSubplans) == 0 || res.TopSubplans[0].Occurrences <= 0 {
+		t.Fatal("top subplans missing")
+	}
+	if len(res.Sharing) != 14 {
+		t.Fatalf("sharing rows %d", len(res.Sharing))
+	}
+	shared := 0
+	for _, s := range res.Sharing {
+		if s.SharesWith > 0 {
+			shared++
+		}
+	}
+	// Paper observation (2): nearly every template shares sub-plans with
+	// at least one other.
+	if shared < 8 {
+		t.Fatalf("only %d templates share subplans", shared)
+	}
+}

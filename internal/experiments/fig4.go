@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"sort"
+
+	"qpp/internal/plan"
+	"qpp/internal/tpch"
+	"qpp/internal/workload"
+)
+
+// CDFPoint is one step of the common-sub-plan size CDF (Figure 4(a)).
+type CDFPoint struct {
+	Size int
+	F    float64
+}
+
+// CommonSubplan is one of the most common sub-plan structures (Figure 4(b)).
+type CommonSubplan struct {
+	Signature   string
+	Size        int
+	Occurrences int
+	Templates   int // distinct templates containing it
+}
+
+// TemplateSharing is Figure 4(c): how many other templates a template
+// shares common sub-plans with.
+type TemplateSharing struct {
+	Template   int
+	SharesWith int
+}
+
+// Fig4Result is the common sub-plan analysis of the 14 operator-level
+// templates' execution plans (Section 4's case study).
+type Fig4Result struct {
+	SizeCDF     []CDFPoint
+	TopSubplans []CommonSubplan
+	Sharing     []TemplateSharing
+}
+
+// Fig4 analyzes sub-plan commonality across templates on the large dataset.
+func Fig4(env *Env) (*Fig4Result, error) {
+	recs := workload.FilterTemplates(env.Large.Records, tpch.OperatorLevelTemplates)
+
+	type sigInfo struct {
+		size      int
+		count     int
+		templates map[int]bool
+	}
+	sigs := map[string]*sigInfo{}
+	for _, r := range recs {
+		r.Root.WalkTree(func(n *plan.Node) {
+			if n.Size() < 2 {
+				return
+			}
+			sig := n.Signature()
+			si := sigs[sig]
+			if si == nil {
+				si = &sigInfo{size: n.Size(), templates: map[int]bool{}}
+				sigs[sig] = si
+			}
+			si.count++
+			si.templates[r.Template] = true
+		})
+	}
+
+	// Common sub-plans appear in the plans of 2+ templates.
+	var common []*sigInfo
+	commonBySig := map[string]*sigInfo{}
+	var sigKeys []string
+	for sig, si := range sigs {
+		if len(si.templates) >= 2 {
+			common = append(common, si)
+			commonBySig[sig] = si
+			sigKeys = append(sigKeys, sig)
+		}
+	}
+	out := &Fig4Result{}
+
+	// (a) CDF of common sub-plan sizes.
+	sizes := make([]int, len(common))
+	for i, si := range common {
+		sizes[i] = si.size
+	}
+	sort.Ints(sizes)
+	if len(sizes) > 0 {
+		maxSize := sizes[len(sizes)-1]
+		for s := 2; s <= maxSize; s++ {
+			n := sort.SearchInts(sizes, s+1)
+			out.SizeCDF = append(out.SizeCDF, CDFPoint{Size: s, F: float64(n) / float64(len(sizes))})
+		}
+	}
+
+	// (b) Most common sub-plans by occurrence count.
+	sort.Slice(sigKeys, func(i, j int) bool {
+		a, b := commonBySig[sigKeys[i]], commonBySig[sigKeys[j]]
+		if a.count != b.count {
+			return a.count > b.count
+		}
+		return sigKeys[i] < sigKeys[j]
+	})
+	top := 6
+	if top > len(sigKeys) {
+		top = len(sigKeys)
+	}
+	for _, sig := range sigKeys[:top] {
+		si := commonBySig[sig]
+		out.TopSubplans = append(out.TopSubplans, CommonSubplan{
+			Signature: sig, Size: si.size, Occurrences: si.count, Templates: len(si.templates),
+		})
+	}
+
+	// (c) Per-template sharing counts.
+	shares := map[int]map[int]bool{}
+	for _, si := range common {
+		var ts []int
+		for t := range si.templates {
+			ts = append(ts, t)
+		}
+		for _, a := range ts {
+			for _, b := range ts {
+				if a == b {
+					continue
+				}
+				if shares[a] == nil {
+					shares[a] = map[int]bool{}
+				}
+				shares[a][b] = true
+			}
+		}
+	}
+	for _, t := range workload.TemplatesPresent(recs) {
+		out.Sharing = append(out.Sharing, TemplateSharing{Template: t, SharesWith: len(shares[t])})
+	}
+	return out, nil
+}

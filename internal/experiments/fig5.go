@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"qpp/internal/mlearn"
+	"qpp/internal/qpp"
+)
+
+// CostPoint is one (optimizer cost, observed latency) point of Figure 5's
+// scatter plot.
+type CostPoint struct {
+	Template int
+	Cost     float64
+	Time     float64
+}
+
+// Fig5Result reproduces Section 5.2: predicting latency from the
+// optimizer's analytical cost with linear regression.
+type Fig5Result struct {
+	Points []CostPoint
+	// Slope and Intercept of the least-squares fit over all data.
+	Slope, Intercept float64
+	// Cross-validated relative-error statistics (paper: min 30%,
+	// mean 120%, max 1744%).
+	MinRel, MeanRel, MaxRel float64
+	// PredictiveRisk is the R^2-style metric (paper footnote: ~0.93,
+	// deceptively close to 1 despite the high relative errors).
+	PredictiveRisk float64
+}
+
+// Fig5 runs the optimizer-cost baseline on the large dataset.
+func Fig5(env *Env) (*Fig5Result, error) {
+	recs := env.Large.Records
+	out := &Fig5Result{}
+	for _, r := range recs {
+		out.Points = append(out.Points, CostPoint{
+			Template: r.Template, Cost: r.Root.Est.TotalCost, Time: r.Time,
+		})
+	}
+	full, err := qpp.TrainCostBaseline(recs)
+	if err != nil {
+		return nil, err
+	}
+	out.Slope, out.Intercept = full.Coefficients()
+
+	folds := stratifiedFolds(recs, env.Cfg.Folds, env.Cfg.Seed)
+	pred := make([]float64, len(recs))
+	for _, f := range folds {
+		cb, err := qpp.TrainCostBaseline(subset(recs, f.Train))
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range f.Test {
+			pred[i] = cb.Predict(recs[i])
+		}
+	}
+	act := make([]float64, len(recs))
+	for i, r := range recs {
+		act[i] = r.Time
+	}
+	out.MinRel = mlearn.MinRelativeError(act, pred)
+	out.MeanRel = mlearn.MeanRelativeError(act, pred)
+	out.MaxRel = mlearn.MaxRelativeError(act, pred)
+	out.PredictiveRisk = mlearn.PredictiveRisk(act, pred)
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"qpp/internal/qpp"
+	"qpp/internal/tpch"
+	"qpp/internal/workload"
+)
+
+// FeatureCombo is one train/test feature-source configuration of Figure 7(a).
+type FeatureCombo struct {
+	Train, Test string // "actual" or "estimate"
+	PlanErr     float64
+	OpErr       float64
+}
+
+// Fig7Result reproduces Section 5.3.3: the impact of optimizer estimation
+// errors, comparing training/testing on actual vs estimated feature values.
+type Fig7Result struct {
+	Combos []FeatureCombo
+	// PlanActualByTemplate is Figure 7(b): plan-level actual/actual
+	// per-template errors on the large dataset.
+	PlanActualByTemplate []TemplateError
+}
+
+// Fig7 evaluates the three feature-source combinations on the large dataset.
+func Fig7(env *Env) (*Fig7Result, error) {
+	recs := env.Large.Records
+	opRecs := workload.FilterTemplates(recs, tpch.OperatorLevelTemplates)
+	folds := stratifiedFolds(recs, env.Cfg.Folds, env.Cfg.Seed)
+	opFolds := stratifiedFolds(opRecs, env.Cfg.Folds, env.Cfg.Seed)
+
+	type combo struct {
+		train, test qpp.FeatureMode
+		name        [2]string
+	}
+	combos := []combo{
+		{qpp.FeatActuals, qpp.FeatActuals, [2]string{"actual", "actual"}},
+		{qpp.FeatEstimates, qpp.FeatEstimates, [2]string{"estimate", "estimate"}},
+		{qpp.FeatActuals, qpp.FeatEstimates, [2]string{"actual", "estimate"}},
+	}
+	out := &Fig7Result{}
+	for _, c := range combos {
+		// Plan-level.
+		planPred := make([]float64, len(recs))
+		for _, f := range folds {
+			m, err := qpp.TrainPlanLevel(subset(recs, f.Train), c.train, qpp.DefaultPlanModelConfig())
+			if err != nil {
+				return nil, err
+			}
+			// The predictor extracts features in its training mode; override
+			// with the test-side mode.
+			for _, i := range f.Test {
+				planPred[i] = m.Model.Predict(qpp.PlanFeatures(recs[i].Root, c.test))
+			}
+		}
+		// Operator-level. Child-time features are observed actuals in the
+		// actual/actual oracle and composed predictions otherwise.
+		src := qpp.ChildTimesPredicted
+		if c.train == qpp.FeatActuals && c.test == qpp.FeatActuals {
+			src = qpp.ChildTimesActual
+		}
+		opPred := make([]float64, len(opRecs))
+		for _, f := range opFolds {
+			m, err := qpp.TrainOperatorModels(subset(opRecs, f.Train), c.train, qpp.OpModelConfig())
+			if err != nil {
+				return nil, err
+			}
+			m.Mode = c.test
+			for _, i := range f.Test {
+				p, err := m.Predict(opRecs[i], src)
+				if err != nil {
+					return nil, err
+				}
+				opPred[i] = p
+			}
+		}
+		out.Combos = append(out.Combos, FeatureCombo{
+			Train:   c.name[0],
+			Test:    c.name[1],
+			PlanErr: meanError(recs, planPred),
+			OpErr:   meanError(opRecs, opPred),
+		})
+		if c.train == qpp.FeatActuals && c.test == qpp.FeatActuals {
+			out.PlanActualByTemplate = perTemplateErrors(recs, planPred)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"qpp/internal/mlearn"
+	"qpp/internal/qpp"
+	"qpp/internal/tpch"
+	"qpp/internal/workload"
+)
+
+// IterPoint is one point of a Figure-8 curve: held-out error after an
+// Algorithm-1 iteration.
+type IterPoint struct {
+	Iter  int
+	Error float64
+}
+
+// Fig8Result compares the three hybrid plan-ordering strategies: error vs
+// iteration curves on a held-out fifth of the large 14-template workload.
+type Fig8Result struct {
+	// Curves maps strategy name to its error trajectory; point 0 is the
+	// pure operator-level error before any plan-level model is added.
+	Curves map[string][]IterPoint
+	// ModelsAccepted counts the plan-level models each strategy kept.
+	ModelsAccepted map[string]int
+}
+
+// Fig8 runs Algorithm 1 under each strategy.
+func Fig8(env *Env) (*Fig8Result, error) {
+	recs := workload.FilterTemplates(env.Large.Records, tpch.OperatorLevelTemplates)
+	folds := stratifiedFolds(recs, 5, env.Cfg.Seed)
+	train := subset(recs, folds[0].Train)
+	test := subset(recs, folds[0].Test)
+
+	out := &Fig8Result{Curves: map[string][]IterPoint{}, ModelsAccepted: map[string]int{}}
+	for _, s := range []qpp.Strategy{qpp.ErrorBased, qpp.SizeBased, qpp.FrequencyBased} {
+		cfg := qpp.DefaultHybridConfig(s)
+		cfg.MaxIters = 30
+		cfg.TargetError = 0 // run all iterations so the curves are comparable
+		cfg.EvalRecs = test
+		h, stats, err := qpp.TrainHybrid(train, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Point 0: operator-level only.
+		base := &qpp.HybridPredictor{Ops: h.Ops, Plans: map[string]*qpp.SubplanModels{}, Mode: cfg.Mode}
+		var act, pred []float64
+		for _, r := range test {
+			p, err := base.Predict(r)
+			if err != nil {
+				continue
+			}
+			act = append(act, r.Time)
+			pred = append(pred, p)
+		}
+		curve := []IterPoint{{Iter: 0, Error: mlearn.MeanRelativeError(act, pred)}}
+		for _, st := range stats {
+			curve = append(curve, IterPoint{Iter: st.Iter, Error: st.TestError})
+		}
+		out.Curves[s.String()] = curve
+		out.ModelsAccepted[s.String()] = h.NumPlanModels()
+	}
+	return out, nil
+}

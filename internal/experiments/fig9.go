@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"qpp/internal/mlearn"
+	"qpp/internal/qpp"
+	"qpp/internal/tpch"
+	"qpp/internal/workload"
+)
+
+// DynamicRow is one held-out template's result in the Figure-9 comparison.
+type DynamicRow struct {
+	Template   int
+	PlanLevel  float64
+	OpLevel    float64
+	ErrorBased float64
+	SizeBased  float64
+	Online     float64
+}
+
+// Fig9Result reproduces the dynamic-workload experiment (Section 5.4):
+// leave one template out, train every method on the remaining eleven, and
+// predict the held-out template's queries.
+type Fig9Result struct {
+	Rows []DynamicRow
+	// Means across templates, per method.
+	PlanMean, OpMean, ErrMean, SizeMean, OnlineMean float64
+}
+
+// Fig9 runs the leave-one-template-out comparison over the paper's 12
+// dynamic-workload templates.
+func Fig9(env *Env) (*Fig9Result, error) {
+	recs := workload.FilterTemplates(env.Large.Records, tpch.DynamicWorkloadTemplates)
+	out := &Fig9Result{}
+	for _, heldOut := range tpch.DynamicWorkloadTemplates {
+		train, test := workload.SplitLeaveTemplateOut(recs, heldOut)
+		if len(test) == 0 || len(train) == 0 {
+			continue
+		}
+		row := DynamicRow{Template: heldOut}
+
+		// Plan-level.
+		pl, err := qpp.TrainPlanLevel(train, qpp.FeatEstimates, qpp.DefaultPlanModelConfig())
+		if err != nil {
+			return nil, err
+		}
+		row.PlanLevel = evalOn(test, func(r *qpp.QueryRecord) (float64, error) {
+			return pl.Predict(r), nil
+		})
+
+		// Operator-level.
+		ops, err := qpp.TrainOperatorModels(train, qpp.FeatEstimates, qpp.OpModelConfig())
+		if err != nil {
+			return nil, err
+		}
+		row.OpLevel = evalOn(test, func(r *qpp.QueryRecord) (float64, error) {
+			return ops.Predict(r, qpp.ChildTimesPredicted)
+		})
+
+		// Hybrid, error-based and size-based.
+		for _, s := range []qpp.Strategy{qpp.ErrorBased, qpp.SizeBased} {
+			cfg := qpp.DefaultHybridConfig(s)
+			h, _, err := qpp.TrainHybrid(train, cfg)
+			if err != nil {
+				return nil, err
+			}
+			e := evalOn(test, func(r *qpp.QueryRecord) (float64, error) {
+				return h.Predict(r)
+			})
+			if s == qpp.ErrorBased {
+				row.ErrorBased = e
+			} else {
+				row.SizeBased = e
+			}
+		}
+
+		// Online: build per-query models from the training index; the
+		// cache shares per-signature decisions across the template's queries.
+		idx := qpp.BuildSubplanIndex(train)
+		onlineCfg := qpp.DefaultOnlineConfig()
+		onlineCfg.Cache = qpp.NewOnlineCache()
+		row.Online = evalOn(test, func(r *qpp.QueryRecord) (float64, error) {
+			p, _, err := qpp.OnlinePredict(idx, ops, r, onlineCfg)
+			return p, err
+		})
+
+		out.Rows = append(out.Rows, row)
+	}
+	n := float64(len(out.Rows))
+	for _, r := range out.Rows {
+		out.PlanMean += r.PlanLevel / n
+		out.OpMean += r.OpLevel / n
+		out.ErrMean += r.ErrorBased / n
+		out.SizeMean += r.SizeBased / n
+		out.OnlineMean += r.Online / n
+	}
+	return out, nil
+}
+
+// evalOn computes the mean relative error of a predictor over records.
+func evalOn(recs []*qpp.QueryRecord, predict func(*qpp.QueryRecord) (float64, error)) float64 {
+	var act, pred []float64
+	for _, r := range recs {
+		p, err := predict(r)
+		if err != nil {
+			continue
+		}
+		act = append(act, r.Time)
+		pred = append(pred, p)
+	}
+	return mlearn.MeanRelativeError(act, pred)
+}

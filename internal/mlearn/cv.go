@@ -1,0 +1,119 @@
+package mlearn
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Fold describes one cross-validation split by sample index.
+type Fold struct {
+	Train []int
+	Test  []int
+}
+
+// KFold returns k folds over n samples, shuffled with the given seed.
+func KFold(n, k int, seed int64) []Fold {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	parts := make([][]int, k)
+	for i, idx := range perm {
+		parts[i%k] = append(parts[i%k], idx)
+	}
+	return foldsFromParts(parts)
+}
+
+// StratifiedKFold returns k folds in which each distinct label is spread
+// evenly across folds, the paper's "stratified sampling" protocol that
+// keeps roughly equal numbers of queries from each TPC-H template in
+// every cross-validation part.
+func StratifiedKFold(labels []string, k int, seed int64) []Fold {
+	if k < 2 {
+		k = 2
+	}
+	n := len(labels)
+	if k > n {
+		k = n
+	}
+	byLabel := map[string][]int{}
+	for i, l := range labels {
+		byLabel[l] = append(byLabel[l], i)
+	}
+	keys := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		keys = append(keys, l)
+	}
+	sort.Strings(keys)
+	rng := rand.New(rand.NewSource(seed))
+	parts := make([][]int, k)
+	next := 0
+	for _, l := range keys {
+		idxs := byLabel[l]
+		rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		for _, idx := range idxs {
+			parts[next%k] = append(parts[next%k], idx)
+			next++
+		}
+	}
+	return foldsFromParts(parts)
+}
+
+func foldsFromParts(parts [][]int) []Fold {
+	k := len(parts)
+	folds := make([]Fold, 0, k)
+	for f := 0; f < k; f++ {
+		var train []int
+		for g := 0; g < k; g++ {
+			if g != f {
+				train = append(train, parts[g]...)
+			}
+		}
+		test := append([]int(nil), parts[f]...)
+		sort.Ints(train)
+		sort.Ints(test)
+		folds = append(folds, Fold{Train: train, Test: test})
+	}
+	return folds
+}
+
+// Subset extracts the given rows of x and y.
+func Subset(x *Matrix, y []float64, idx []int) (*Matrix, []float64) {
+	xs := NewMatrix(len(idx), x.Cols)
+	ys := make([]float64, len(idx))
+	for i, r := range idx {
+		copy(xs.Row(i), x.Row(r))
+		ys[i] = y[r]
+	}
+	return xs, ys
+}
+
+// CrossValPredict trains a fresh model per fold and returns out-of-fold
+// predictions aligned with the input rows.
+func CrossValPredict(factory ModelFactory, x *Matrix, y []float64, folds []Fold) ([]float64, error) {
+	out := make([]float64, len(y))
+	for fi, f := range folds {
+		xt, yt := Subset(x, y, f.Train)
+		m := factory()
+		if err := m.Fit(xt, yt); err != nil {
+			return nil, fmt.Errorf("mlearn: cv fold %d: %w", fi, err)
+		}
+		for _, r := range f.Test {
+			out[r] = m.Predict(x.Row(r))
+		}
+	}
+	return out, nil
+}
+
+// CrossValMRE returns the mean relative error of out-of-fold predictions.
+func CrossValMRE(factory ModelFactory, x *Matrix, y []float64, folds []Fold) (float64, error) {
+	pred, err := CrossValPredict(factory, x, y, folds)
+	if err != nil {
+		return 0, err
+	}
+	return MeanRelativeError(y, pred), nil
+}

@@ -1,0 +1,190 @@
+package mlearn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKFoldPartitionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(50)
+		k := 2 + rng.Intn(6)
+		folds := KFold(n, k, seed)
+		seen := map[int]int{}
+		for _, f := range folds {
+			for _, i := range f.Test {
+				seen[i]++
+			}
+			// train ∪ test must cover all n indices exactly once each.
+			all := map[int]bool{}
+			for _, i := range f.Train {
+				all[i] = true
+			}
+			for _, i := range f.Test {
+				if all[i] {
+					return false // overlap
+				}
+				all[i] = true
+			}
+			if len(all) != n {
+				return false
+			}
+		}
+		// every index appears in exactly one test fold
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStratifiedKFoldBalance(t *testing.T) {
+	labels := make([]string, 100)
+	for i := range labels {
+		labels[i] = string(rune('a' + i%4))
+	}
+	folds := StratifiedKFold(labels, 5, 1)
+	if len(folds) != 5 {
+		t.Fatalf("folds %d", len(folds))
+	}
+	for _, f := range folds {
+		count := map[string]int{}
+		for _, i := range f.Test {
+			count[labels[i]]++
+		}
+		for l, c := range count {
+			if c != 5 { // 25 per label / 5 folds
+				t.Fatalf("label %s appears %d times in a fold, want 5", l, c)
+			}
+		}
+	}
+}
+
+func TestStratifiedKFoldSmallClasses(t *testing.T) {
+	labels := []string{"a", "a", "b", "c", "c", "c"}
+	folds := StratifiedKFold(labels, 3, 2)
+	total := 0
+	for _, f := range folds {
+		total += len(f.Test)
+	}
+	if total != len(labels) {
+		t.Fatalf("test rows %d want %d", total, len(labels))
+	}
+}
+
+func TestCrossValPredictPerfectModel(t *testing.T) {
+	n := 40
+	x := NewMatrix(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, float64(i))
+		y[i] = 3*float64(i) + 2
+	}
+	factory := func() Regressor { return NewLinearRegression(0) }
+	folds := KFold(n, 5, 1)
+	pred, err := CrossValPredict(factory, x, y, folds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if math.Abs(pred[i]-y[i]) > 1e-6 {
+			t.Fatalf("oof pred %v want %v", pred[i], y[i])
+		}
+	}
+	mre, err := CrossValMRE(factory, x, y, folds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mre > 1e-9 {
+		t.Fatalf("mre %v", mre)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	actual := []float64{10, 20}
+	est := []float64{12, 15}
+	mre := MeanRelativeError(actual, est)
+	if !almostEqual(mre, (0.2+0.25)/2, 1e-12) {
+		t.Fatalf("mre %v", mre)
+	}
+	if MaxRelativeError(actual, est) != 0.25 {
+		t.Fatal("max")
+	}
+	if MinRelativeError(actual, est) != 0.2 {
+		t.Fatal("min")
+	}
+	if r := PredictiveRisk(actual, actual); r != 1 {
+		t.Fatalf("risk of perfect pred %v", r)
+	}
+	if r := PredictiveRisk(actual, []float64{15, 15}); r != 0 {
+		t.Fatalf("risk of mean pred %v", r)
+	}
+	if rmse := RMSE(actual, est); !almostEqual(rmse, math.Sqrt((4+25)/2.0), 1e-12) {
+		t.Fatalf("rmse %v", rmse)
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if c := PearsonCorrelation(a, []float64{2, 4, 6, 8}); !almostEqual(c, 1, 1e-12) {
+		t.Fatalf("corr %v", c)
+	}
+	if c := PearsonCorrelation(a, []float64{8, 6, 4, 2}); !almostEqual(c, -1, 1e-12) {
+		t.Fatalf("corr %v", c)
+	}
+	if c := PearsonCorrelation(a, []float64{5, 5, 5, 5}); c != 0 {
+		t.Fatalf("constant corr %v", c)
+	}
+}
+
+func TestForwardFeatureSelectionFindsSignal(t *testing.T) {
+	// Feature 0 is pure noise; features 1 and 2 carry the target.
+	rng := rand.New(rand.NewSource(11))
+	n := 100
+	x := NewMatrix(n, 3)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.NormFloat64())
+		x.Set(i, 1, rng.NormFloat64())
+		x.Set(i, 2, rng.NormFloat64())
+		y[i] = 10 + 5*x.At(i, 1) + 2*x.At(i, 2)
+	}
+	factory := func() Regressor { return NewLinearRegression(1e-6) }
+	sel, errRate, err := ForwardFeatureSelection(factory, x, y, FeatureSelectionConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := map[int]bool{}
+	for _, s := range sel {
+		has[s] = true
+	}
+	if !has[1] || !has[2] {
+		t.Fatalf("selected %v, want features 1 and 2", sel)
+	}
+	if errRate > 0.01 {
+		t.Fatalf("cv error %v too high", errRate)
+	}
+}
+
+func TestSelectColumnsAndRow(t *testing.T) {
+	x, _ := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	s := SelectColumns(x, []int{2, 0})
+	if s.At(0, 0) != 3 || s.At(0, 1) != 1 || s.At(1, 0) != 6 {
+		t.Fatalf("got %v", s.Data)
+	}
+	r := SelectRow([]float64{7, 8, 9}, []int{1})
+	if len(r) != 1 || r[0] != 8 {
+		t.Fatalf("got %v", r)
+	}
+}

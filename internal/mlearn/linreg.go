@@ -1,0 +1,102 @@
+package mlearn
+
+import "fmt"
+
+// LinearRegression is ordinary least squares with optional L2 (ridge)
+// regularization, fit via the normal equations and a Cholesky solve.
+// It corresponds to the linear-regression models (from the Shark library)
+// the paper uses for operator-level modeling.
+type LinearRegression struct {
+	// Lambda is the ridge penalty. Zero requests pure OLS; a tiny default
+	// jitter is still applied if the normal matrix is singular so that
+	// degenerate (constant or duplicated) features do not abort training.
+	Lambda float64
+	// FitIntercept controls whether a bias term is estimated (default true
+	// via NewLinearRegression).
+	FitIntercept bool
+
+	// Coef holds the fitted weights, one per feature, after Fit.
+	Coef []float64
+	// Intercept holds the fitted bias term after Fit.
+	Intercept float64
+}
+
+// NewLinearRegression returns a ridge regression model with the given
+// penalty and an intercept term.
+func NewLinearRegression(lambda float64) *LinearRegression {
+	return &LinearRegression{Lambda: lambda, FitIntercept: true}
+}
+
+// Fit estimates coefficients from x (n samples by d features) and y.
+func (lr *LinearRegression) Fit(x *Matrix, y []float64) error {
+	n, d := x.Rows, x.Cols
+	if n != len(y) {
+		return fmt.Errorf("mlearn: linreg: %d rows but %d targets", n, len(y))
+	}
+	if n == 0 {
+		return fmt.Errorf("mlearn: linreg: empty training set")
+	}
+	// Center to decouple the intercept; improves conditioning as well.
+	xmean := make([]float64, d)
+	if lr.FitIntercept {
+		for j := 0; j < d; j++ {
+			xmean[j] = Mean(x.Col(j))
+		}
+	}
+	ymean := 0.0
+	if lr.FitIntercept {
+		ymean = Mean(y)
+	}
+
+	// Normal matrix G = Xc^T Xc + lambda I and rhs = Xc^T yc.
+	g := NewMatrix(d, d)
+	rhs := make([]float64, d)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		yc := y[i] - ymean
+		for j := 0; j < d; j++ {
+			xij := row[j] - xmean[j]
+			if xij == 0 {
+				continue
+			}
+			rhs[j] += xij * yc
+			grow := g.Row(j)
+			for k := j; k < d; k++ {
+				grow[k] += xij * (row[k] - xmean[k])
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		for k := 0; k < j; k++ {
+			g.Set(j, k, g.At(k, j))
+		}
+	}
+
+	lambda := lr.Lambda
+	for attempt := 0; ; attempt++ {
+		ga := g.Clone()
+		for j := 0; j < d; j++ {
+			ga.Set(j, j, ga.At(j, j)+lambda)
+		}
+		coef, err := CholeskySolve(ga, rhs)
+		if err == nil {
+			lr.Coef = coef
+			lr.Intercept = ymean - Dot(coef, xmean)
+			return nil
+		}
+		// Singular: escalate the jitter a few times before giving up.
+		if attempt >= 12 {
+			return fmt.Errorf("mlearn: linreg fit: %w", err)
+		}
+		if lambda == 0 {
+			lambda = 1e-8
+		} else {
+			lambda *= 10
+		}
+	}
+}
+
+// Predict returns the linear model output for one feature row.
+func (lr *LinearRegression) Predict(row []float64) float64 {
+	return Dot(lr.Coef, row) + lr.Intercept
+}

@@ -1,0 +1,162 @@
+package mlearn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearRegressionExactFit(t *testing.T) {
+	// y = 3x1 - 2x2 + 5, no noise: OLS must recover coefficients.
+	rng := rand.New(rand.NewSource(1))
+	x := NewMatrix(50, 2)
+	y := make([]float64, 50)
+	for i := 0; i < 50; i++ {
+		x.Set(i, 0, rng.NormFloat64())
+		x.Set(i, 1, rng.NormFloat64())
+		y[i] = 3*x.At(i, 0) - 2*x.At(i, 1) + 5
+	}
+	lr := NewLinearRegression(0)
+	if err := lr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(lr.Coef[0], 3, 1e-8) || !almostEqual(lr.Coef[1], -2, 1e-8) {
+		t.Fatalf("coef %v", lr.Coef)
+	}
+	if !almostEqual(lr.Intercept, 5, 1e-8) {
+		t.Fatalf("intercept %v", lr.Intercept)
+	}
+}
+
+func TestLinearRegressionRecoversArbitraryLinearMaps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(4)
+		n := 20 + d*5
+		w := make([]float64, d)
+		for j := range w {
+			w[j] = rng.NormFloat64() * 10
+		}
+		b := rng.NormFloat64() * 10
+		x := NewMatrix(n, d)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				x.Set(i, j, rng.NormFloat64())
+			}
+			y[i] = Dot(w, x.Row(i)) + b
+		}
+		lr := NewLinearRegression(0)
+		if err := lr.Fit(x, y); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !almostEqual(lr.Predict(x.Row(i)), y[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearRegressionDuplicateColumns(t *testing.T) {
+	// Perfectly collinear features make the normal matrix singular; the
+	// fitter must fall back to jitter rather than fail.
+	x := NewMatrix(20, 2)
+	y := make([]float64, 20)
+	for i := 0; i < 20; i++ {
+		x.Set(i, 0, float64(i))
+		x.Set(i, 1, float64(i))
+		y[i] = 2 * float64(i)
+	}
+	lr := NewLinearRegression(0)
+	if err := lr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if !almostEqual(lr.Predict(x.Row(i)), y[i], 1e-3) {
+			t.Fatalf("pred %v want %v", lr.Predict(x.Row(i)), y[i])
+		}
+	}
+}
+
+func TestLinearRegressionRidgeShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := NewMatrix(30, 1)
+	y := make([]float64, 30)
+	for i := 0; i < 30; i++ {
+		x.Set(i, 0, rng.NormFloat64())
+		y[i] = 4 * x.At(i, 0)
+	}
+	ols := NewLinearRegression(0)
+	ridge := NewLinearRegression(100)
+	if err := ols.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := ridge.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ridge.Coef[0]) >= math.Abs(ols.Coef[0]) {
+		t.Fatalf("ridge %v should shrink vs ols %v", ridge.Coef[0], ols.Coef[0])
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	lr := NewLinearRegression(0)
+	if err := lr.Fit(NewMatrix(0, 2), nil); err == nil {
+		t.Fatal("expected error on empty training set")
+	}
+	if err := lr.Fit(NewMatrix(3, 2), []float64{1}); err == nil {
+		t.Fatal("expected error on length mismatch")
+	}
+}
+
+func TestConstantModel(t *testing.T) {
+	var c ConstantModel
+	if err := c.Fit(NewMatrix(3, 1), []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Predict([]float64{99}) != 2 {
+		t.Fatalf("got %v", c.Predict(nil))
+	}
+}
+
+func TestRelativeLinearRegressionBalancesScales(t *testing.T) {
+	// Targets spanning 4 orders of magnitude with y = 2x: both tiny and
+	// huge samples should be predicted within a few percent.
+	rng := rand.New(rand.NewSource(9))
+	n := 200
+	x := NewMatrix(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		scale := math.Pow(10, float64(i%5)-2) // 0.01 .. 100
+		v := (1 + rng.Float64()) * scale
+		x.Set(i, 0, v)
+		y[i] = 2*v + 0.001 // small additive floor
+	}
+	m := NewRelativeLinearRegression(0)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.02, 1, 150} {
+		got := m.Predict([]float64{v})
+		want := 2*v + 0.001
+		if RelativeError(want, got) > 0.05 {
+			t.Fatalf("f(%v)=%v want %v", v, got, want)
+		}
+	}
+}
+
+func TestRelativeLinearRegressionErrors(t *testing.T) {
+	m := NewRelativeLinearRegression(0)
+	if err := m.Fit(NewMatrix(0, 1), nil); err == nil {
+		t.Fatal("empty training set must fail")
+	}
+	if err := m.Fit(NewMatrix(2, 1), []float64{1}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}

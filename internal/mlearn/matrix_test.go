@@ -1,0 +1,175 @@
+package mlearn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestMatrixFromRows(t *testing.T) {
+	m, err := MatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("dims %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1)=%v", m.At(2, 1))
+	}
+}
+
+func TestMatrixFromRowsRagged(t *testing.T) {
+	if _, err := MatrixFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+}
+
+func TestMatrixFromRowsEmpty(t *testing.T) {
+	m, err := MatrixFromRows(nil)
+	if err != nil || m.Rows != 0 {
+		t.Fatalf("empty: %v %v", m, err)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	id, _ := MatrixFromRows([][]float64{{1, 0}, {0, 1}})
+	p := MatMul(a, id)
+	for i := range a.Data {
+		if p.Data[i] != a.Data[i] {
+			t.Fatalf("A*I != A at %d", i)
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	v := MatVec(a, []float64{1, 1, 1})
+	if v[0] != 6 || v[1] != 15 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(6), 1+rng.Intn(6)
+		m := NewMatrix(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		tt := m.T().T()
+		if tt.Rows != m.Rows || tt.Cols != m.Cols {
+			return false
+		}
+		for i := range m.Data {
+			if tt.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulAssociativeWithVector(t *testing.T) {
+	// (A*B)*x == A*(B*x), a structural property of our matmul/matvec pair.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		a, b := NewMatrix(n, n), NewMatrix(n, n)
+		x := make([]float64, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+			b.Data[i] = rng.NormFloat64()
+		}
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		lhs := MatVec(MatMul(a, b), x)
+		rhs := MatVec(a, MatVec(b, x))
+		for i := range lhs {
+			if !almostEqual(lhs[i], rhs[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskySolveRandomSPD(t *testing.T) {
+	// Build SPD A = M^T M + I and verify A*x == b after solving.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		a := MatMul(m.T(), m)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := CholeskySolve(a, b)
+		if err != nil {
+			return false
+		}
+		ax := MatVec(a, x)
+		for i := range b {
+			if !almostEqual(ax[i], b[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskySingular(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 1}, {1, 1}})
+	if _, err := CholeskySolve(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(v) != 5 {
+		t.Fatalf("mean %v", Mean(v))
+	}
+	if Variance(v) != 4 {
+		t.Fatalf("var %v", Variance(v))
+	}
+	if StdDev(v) != 2 {
+		t.Fatalf("std %v", StdDev(v))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty-input stats should be 0")
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}

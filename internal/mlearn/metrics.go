@@ -1,0 +1,95 @@
+package mlearn
+
+import "math"
+
+// MeanRelativeError returns (1/N) * sum |actual - estimate| / actual, the
+// paper's primary error metric (Section 5.1). Actual values with magnitude
+// below floor are clamped to floor to keep the metric finite.
+func MeanRelativeError(actual, estimate []float64) float64 {
+	const floor = 1e-9
+	if len(actual) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range actual {
+		a := math.Abs(actual[i])
+		if a < floor {
+			a = floor
+		}
+		s += math.Abs(actual[i]-estimate[i]) / a
+	}
+	return s / float64(len(actual))
+}
+
+// RelativeError returns |actual - estimate| / actual for one prediction.
+func RelativeError(actual, estimate float64) float64 {
+	const floor = 1e-9
+	a := math.Abs(actual)
+	if a < floor {
+		a = floor
+	}
+	return math.Abs(actual-estimate) / a
+}
+
+// MaxRelativeError returns the largest per-sample relative error.
+func MaxRelativeError(actual, estimate []float64) float64 {
+	var m float64
+	for i := range actual {
+		if e := RelativeError(actual[i], estimate[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// MinRelativeError returns the smallest per-sample relative error.
+func MinRelativeError(actual, estimate []float64) float64 {
+	m := math.Inf(1)
+	for i := range actual {
+		if e := RelativeError(actual[i], estimate[i]); e < m {
+			m = e
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// PredictiveRisk returns 1 - SSE/SST, the R^2-style metric the paper cites
+// from Ganapathi et al. [1]; it measures improvement over predicting the
+// mean and can look deceptively good even when relative errors are large
+// (footnote 1 of the paper).
+func PredictiveRisk(actual, estimate []float64) float64 {
+	if len(actual) == 0 {
+		return 0
+	}
+	mean := Mean(actual)
+	var sse, sst float64
+	for i := range actual {
+		d := actual[i] - estimate[i]
+		sse += d * d
+		t := actual[i] - mean
+		sst += t * t
+	}
+	if sst == 0 {
+		if sse == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - sse/sst
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(actual, estimate []float64) float64 {
+	if len(actual) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range actual {
+		d := actual[i] - estimate[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(actual)))
+}

@@ -1,0 +1,164 @@
+package mlearn
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Model (de)serialization: the QPP paper materializes trained models so
+// they are "immediately ready for use in predictions whenever needed";
+// this file provides the JSON encoding behind that materialization for
+// every Regressor implementation in the package.
+
+// modelEnvelope tags a serialized model with its concrete type.
+type modelEnvelope struct {
+	Type  string          `json:"type"`
+	State json.RawMessage `json:"state"`
+}
+
+// MarshalModel encodes any supported Regressor with a type tag.
+func MarshalModel(m Regressor) ([]byte, error) {
+	var typ string
+	var state any
+	switch v := m.(type) {
+	case *LinearRegression:
+		typ = "linreg"
+		state = linregState{Coef: v.Coef, Intercept: v.Intercept, Lambda: v.Lambda, FitIntercept: v.FitIntercept}
+	case *RelativeLinearRegression:
+		typ = "rel-linreg"
+		state = relLinregState{Lambda: v.Lambda, FloorFrac: v.FloorFrac, Coef: v.inner.Coef, D: v.d}
+	case *SVR:
+		typ = "svr"
+		st := svrState{
+			Kind: int(v.Kind), Kernel: int(v.Kernel), C: v.C, Epsilon: v.Epsilon,
+			Nu: v.Nu, Gamma: v.gamma, Coef: v.coef, B: v.b,
+		}
+		if v.sv != nil {
+			st.SVRows, st.SVCols, st.SVData = v.sv.Rows, v.sv.Cols, v.sv.Data
+		}
+		state = st
+	case *ScaledModel:
+		inner, err := MarshalModel(v.Inner)
+		if err != nil {
+			return nil, err
+		}
+		typ = "scaled"
+		state = scaledState{
+			Inner: inner, ScaleTarget: v.ScaleTarget, TargetScaled: v.targetScaled,
+			YMean: v.yMean, YStd: v.yStd, XMeans: v.xs.Means, XStds: v.xs.Stds,
+		}
+	case *ConstantModel:
+		typ = "constant"
+		state = constState{Value: v.Value}
+	default:
+		return nil, fmt.Errorf("mlearn: cannot marshal model of type %T", m)
+	}
+	raw, err := json.Marshal(state)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(modelEnvelope{Type: typ, State: raw})
+}
+
+// UnmarshalModel decodes a model previously written by MarshalModel.
+func UnmarshalModel(data []byte) (Regressor, error) {
+	var env modelEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("mlearn: bad model envelope: %w", err)
+	}
+	switch env.Type {
+	case "linreg":
+		var st linregState
+		if err := json.Unmarshal(env.State, &st); err != nil {
+			return nil, err
+		}
+		return &LinearRegression{Coef: st.Coef, Intercept: st.Intercept, Lambda: st.Lambda, FitIntercept: st.FitIntercept}, nil
+	case "rel-linreg":
+		var st relLinregState
+		if err := json.Unmarshal(env.State, &st); err != nil {
+			return nil, err
+		}
+		m := &RelativeLinearRegression{Lambda: st.Lambda, FloorFrac: st.FloorFrac, d: st.D}
+		m.inner = &LinearRegression{Coef: st.Coef, FitIntercept: false}
+		return m, nil
+	case "svr":
+		var st svrState
+		if err := json.Unmarshal(env.State, &st); err != nil {
+			return nil, err
+		}
+		m := &SVR{
+			Kind: SVRKind(st.Kind), Kernel: KernelKind(st.Kernel),
+			C: st.C, Epsilon: st.Epsilon, Nu: st.Nu, Gamma: st.Gamma,
+			gamma: st.Gamma, coef: st.Coef, b: st.B,
+		}
+		m.sv = &Matrix{Rows: st.SVRows, Cols: st.SVCols, Data: st.SVData}
+		if m.sv.Data == nil {
+			m.sv.Data = []float64{}
+		}
+		return m, nil
+	case "scaled":
+		var st scaledState
+		if err := json.Unmarshal(env.State, &st); err != nil {
+			return nil, err
+		}
+		inner, err := UnmarshalModel(st.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return &ScaledModel{
+			Inner: inner, ScaleTarget: st.ScaleTarget, targetScaled: st.TargetScaled,
+			yMean: st.YMean, yStd: st.YStd,
+			xs: &Standardizer{Means: st.XMeans, Stds: st.XStds},
+		}, nil
+	case "constant":
+		var st constState
+		if err := json.Unmarshal(env.State, &st); err != nil {
+			return nil, err
+		}
+		return &ConstantModel{Value: st.Value}, nil
+	default:
+		return nil, fmt.Errorf("mlearn: unknown model type %q", env.Type)
+	}
+}
+
+type linregState struct {
+	Coef         []float64 `json:"coef"`
+	Intercept    float64   `json:"intercept"`
+	Lambda       float64   `json:"lambda"`
+	FitIntercept bool      `json:"fit_intercept"`
+}
+
+type relLinregState struct {
+	Lambda    float64   `json:"lambda"`
+	FloorFrac float64   `json:"floor_frac"`
+	Coef      []float64 `json:"coef"`
+	D         int       `json:"d"`
+}
+
+type svrState struct {
+	Kind    int       `json:"kind"`
+	Kernel  int       `json:"kernel"`
+	C       float64   `json:"c"`
+	Epsilon float64   `json:"epsilon"`
+	Nu      float64   `json:"nu"`
+	Gamma   float64   `json:"gamma"`
+	Coef    []float64 `json:"coef"`
+	B       float64   `json:"b"`
+	SVRows  int       `json:"sv_rows"`
+	SVCols  int       `json:"sv_cols"`
+	SVData  []float64 `json:"sv_data"`
+}
+
+type scaledState struct {
+	Inner        json.RawMessage `json:"inner"`
+	ScaleTarget  bool            `json:"scale_target"`
+	TargetScaled bool            `json:"target_scaled"`
+	YMean        float64         `json:"y_mean"`
+	YStd         float64         `json:"y_std"`
+	XMeans       []float64       `json:"x_means"`
+	XStds        []float64       `json:"x_stds"`
+}
+
+type constState struct {
+	Value float64 `json:"value"`
+}

@@ -1,0 +1,84 @@
+package mlearn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func roundTrip(t *testing.T, m Regressor, x *Matrix) Regressor {
+	t.Helper()
+	data, err := MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < x.Rows; i++ {
+		if a, b := m.Predict(x.Row(i)), loaded.Predict(x.Row(i)); a != b {
+			t.Fatalf("round-trip prediction diverges: %v vs %v", a, b)
+		}
+	}
+	return loaded
+}
+
+func persistTrainingData(seed int64) (*Matrix, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := NewMatrix(60, 3)
+	y := make([]float64, 60)
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = 2*x.At(i, 0) - x.At(i, 1) + 0.5
+	}
+	return x, y
+}
+
+func TestMarshalRoundTripAllModels(t *testing.T) {
+	x, y := persistTrainingData(1)
+
+	lr := NewLinearRegression(0.01)
+	if err := lr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, lr, x)
+
+	rlr := NewRelativeLinearRegression(0.01)
+	if err := rlr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, rlr, x)
+
+	svr := NewNuSVR(10, 0.5)
+	if err := svr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, svr, x)
+
+	scaled := NewScaledModel(NewEpsilonSVR(5, 0.05))
+	if err := scaled.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, scaled, x)
+
+	c := &ConstantModel{}
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, c, x)
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := UnmarshalModel([]byte("nope")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	if _, err := UnmarshalModel([]byte(`{"type":"alien","state":{}}`)); err == nil {
+		t.Fatal("unknown type must fail")
+	}
+	type weird struct{ Regressor }
+	if _, err := MarshalModel(weird{}); err == nil {
+		t.Fatal("unsupported model must fail to marshal")
+	}
+}

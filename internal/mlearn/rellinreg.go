@@ -1,0 +1,76 @@
+package mlearn
+
+import (
+	"fmt"
+	"math"
+)
+
+// RelativeLinearRegression is linear regression fit by weighted least
+// squares with weights 1/max(|y|, floor)^2 — i.e. it minimizes squared
+// *relative* error instead of squared absolute error. This matters when
+// training targets span several orders of magnitude (operator run-times
+// range from microseconds for dimension-table scans to seconds for fact
+// scans): plain OLS lets the large targets dominate and leaves an additive
+// bias that swamps the small ones, which is exactly what the paper's mean
+// relative error metric punishes.
+type RelativeLinearRegression struct {
+	// Lambda is the ridge penalty applied in the weighted space.
+	Lambda float64
+	// FloorFrac sets the weight floor as a fraction of mean |y|
+	// (default 0.01), preventing near-zero targets from dominating.
+	FloorFrac float64
+
+	inner *LinearRegression
+	d     int
+}
+
+// NewRelativeLinearRegression returns a relative-error linear model.
+func NewRelativeLinearRegression(lambda float64) *RelativeLinearRegression {
+	return &RelativeLinearRegression{Lambda: lambda, FloorFrac: 0.01}
+}
+
+// Fit implements Regressor.
+func (m *RelativeLinearRegression) Fit(x *Matrix, y []float64) error {
+	n, d := x.Rows, x.Cols
+	if n != len(y) {
+		return fmt.Errorf("mlearn: rel linreg: %d rows but %d targets", n, len(y))
+	}
+	if n == 0 {
+		return fmt.Errorf("mlearn: rel linreg: empty training set")
+	}
+	var meanAbs float64
+	for _, v := range y {
+		meanAbs += math.Abs(v)
+	}
+	meanAbs /= float64(n)
+	floor := m.FloorFrac * meanAbs
+	if floor <= 0 {
+		floor = 1e-12
+	}
+	// WLS via scaling: divide each (row ++ intercept column) and target by
+	// s_i, then fit OLS through the origin on the augmented system.
+	xs := NewMatrix(n, d+1)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := math.Max(math.Abs(y[i]), floor)
+		src := x.Row(i)
+		dst := xs.Row(i)
+		for j := 0; j < d; j++ {
+			dst[j] = src[j] / s
+		}
+		dst[d] = 1 / s // intercept column
+		ys[i] = y[i] / s
+	}
+	m.inner = &LinearRegression{Lambda: m.Lambda, FitIntercept: false}
+	m.d = d
+	return m.inner.Fit(xs, ys)
+}
+
+// Predict implements Regressor.
+func (m *RelativeLinearRegression) Predict(row []float64) float64 {
+	out := m.inner.Coef[m.d] // intercept
+	for j := 0; j < m.d; j++ {
+		out += m.inner.Coef[j] * row[j]
+	}
+	return out
+}

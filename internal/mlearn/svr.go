@@ -1,0 +1,509 @@
+package mlearn
+
+import (
+	"fmt"
+	"math"
+)
+
+// KernelKind selects the kernel function used by SVR.
+type KernelKind int
+
+const (
+	// KernelRBF is the Gaussian radial basis function kernel
+	// K(u,v) = exp(-gamma * ||u-v||^2).
+	KernelRBF KernelKind = iota
+	// KernelLinear is the dot-product kernel K(u,v) = u . v.
+	KernelLinear
+)
+
+// SVRKind selects the support-vector regression formulation.
+type SVRKind int
+
+const (
+	// EpsilonSVR is the classic epsilon-insensitive formulation.
+	EpsilonSVR SVRKind = iota
+	// NuSVR is the nu-parameterized formulation the paper uses
+	// (libsvm's "nu-SVR"); nu bounds the fraction of support vectors
+	// and errors, and the tube width epsilon is learned.
+	NuSVR
+)
+
+// SVR is a support-vector regression model trained with a sequential
+// minimal optimization (SMO) solver following libsvm's algorithm
+// (maximal-violating-pair working-set selection; the Solver_NU pair
+// restriction for nu-SVR).
+type SVR struct {
+	Kind    SVRKind
+	Kernel  KernelKind
+	C       float64 // regularization parameter (default 1)
+	Epsilon float64 // tube width for EpsilonSVR (default 0.1)
+	Nu      float64 // nu parameter for NuSVR (default 0.5)
+	Gamma   float64 // RBF gamma; <=0 means 1/num_features
+	Tol     float64 // KKT violation tolerance (default 1e-3)
+	MaxIter int     // iteration cap (default derived from size)
+
+	sv        *Matrix   // support vectors (rows)
+	lastIters int       // SMO iterations used by the last Fit
+	coef      []float64 // alpha_i - alpha_i^* per support vector
+	b         float64   // bias term
+	gamma     float64   // resolved gamma actually used
+}
+
+// NewNuSVR returns a nu-SVR with RBF kernel, matching the configuration
+// the paper reports for plan-level models.
+func NewNuSVR(c, nu float64) *SVR {
+	return &SVR{Kind: NuSVR, Kernel: KernelRBF, C: c, Nu: nu}
+}
+
+// NewEpsilonSVR returns an epsilon-SVR with RBF kernel.
+func NewEpsilonSVR(c, epsilon float64) *SVR {
+	return &SVR{Kind: EpsilonSVR, Kernel: KernelRBF, C: c, Epsilon: epsilon}
+}
+
+func (s *SVR) kernel(u, v []float64) float64 {
+	switch s.Kernel {
+	case KernelLinear:
+		return Dot(u, v)
+	default:
+		var d2 float64
+		for i := range u {
+			d := u[i] - v[i]
+			d2 += d * d
+		}
+		return math.Exp(-s.gamma * d2)
+	}
+}
+
+// Fit trains the model on x (n samples by d features) and targets y.
+func (s *SVR) Fit(x *Matrix, y []float64) error {
+	l := x.Rows
+	if l != len(y) {
+		return fmt.Errorf("mlearn: svr: %d rows but %d targets", l, len(y))
+	}
+	if l == 0 {
+		return fmt.Errorf("mlearn: svr: empty training set")
+	}
+	if s.C <= 0 {
+		s.C = 1
+	}
+	if s.Epsilon <= 0 {
+		s.Epsilon = 0.1
+	}
+	if s.Nu <= 0 || s.Nu > 1 {
+		s.Nu = 0.5
+	}
+	if s.Tol <= 0 {
+		s.Tol = 1e-3
+	}
+	s.gamma = s.Gamma
+	if s.gamma <= 0 {
+		s.gamma = 1.0 / float64(max(1, x.Cols))
+	}
+
+	// Precompute the l x l kernel matrix; training sets here are small
+	// (hundreds of rows), so the dense matrix is cheap.
+	k := NewMatrix(l, l)
+	for i := 0; i < l; i++ {
+		ri := x.Row(i)
+		for j := i; j < l; j++ {
+			v := s.kernel(ri, x.Row(j))
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+
+	// Build the 2l-variable dual problem as in libsvm's SVR_Q: index
+	// i < l carries sign +1 (alpha), index i >= l sign -1 (alpha*).
+	n := 2 * l
+	sign := make([]int8, n)
+	p := make([]float64, n)
+	alpha := make([]float64, n)
+	switch s.Kind {
+	case EpsilonSVR:
+		for i := 0; i < l; i++ {
+			sign[i], sign[i+l] = 1, -1
+			p[i] = s.Epsilon - y[i]
+			p[i+l] = s.Epsilon + y[i]
+		}
+	case NuSVR:
+		sum := s.C * s.Nu * float64(l) / 2
+		for i := 0; i < l; i++ {
+			a := math.Min(sum, s.C)
+			alpha[i], alpha[i+l] = a, a
+			sum -= a
+			sign[i], sign[i+l] = 1, -1
+			p[i] = -y[i]
+			p[i+l] = y[i]
+		}
+	}
+
+	sol := smoSolver{
+		n:     n,
+		l:     l,
+		k:     k,
+		sign:  sign,
+		p:     p,
+		alpha: alpha,
+		c:     s.C,
+		tol:   s.Tol,
+		nu:    s.Kind == NuSVR,
+	}
+	maxIter := s.MaxIter
+	if maxIter <= 0 {
+		maxIter = max(10000, 100*n)
+	}
+	s.lastIters = sol.solve(maxIter)
+
+	// Collapse to alpha - alpha* and keep only support vectors.
+	var svRows [][]float64
+	var coef []float64
+	for i := 0; i < l; i++ {
+		a := sol.alpha[i] - sol.alpha[i+l]
+		if math.Abs(a) > 1e-12 {
+			svRows = append(svRows, append([]float64(nil), x.Row(i)...))
+			coef = append(coef, a)
+		}
+	}
+	sv, err := MatrixFromRows(svRows)
+	if err != nil {
+		return err
+	}
+	s.sv, s.coef, s.b = sv, coef, -sol.rho()
+	return nil
+}
+
+// Predict returns the SVR output for one feature row.
+func (s *SVR) Predict(row []float64) float64 {
+	out := s.b
+	for i, c := range s.coef {
+		out += c * s.kernel(s.sv.Row(i), row)
+	}
+	return out
+}
+
+// NumSupportVectors reports the number of support vectors kept after Fit.
+func (s *SVR) NumSupportVectors() int { return len(s.coef) }
+
+// smoSolver carries the state of the 2l-variable SMO optimization.
+type smoSolver struct {
+	n     int       // number of dual variables (2l)
+	l     int       // number of training rows
+	k     *Matrix   // l x l kernel matrix
+	kd    []float64 // kernel diagonal
+	sign  []int8    // +1 / -1 per dual variable
+	p     []float64
+	alpha []float64
+	g     []float64 // gradient
+	c     float64
+	tol   float64
+	nu    bool // use Solver_NU pair selection / rho
+}
+
+// q returns Q[i][j] = sign_i * sign_j * K[i%l][j%l].
+func (s *smoSolver) q(i, j int) float64 {
+	v := s.k.At(i%s.l, j%s.l)
+	if s.sign[i] != s.sign[j] {
+		return -v
+	}
+	return v
+}
+
+func (s *smoSolver) solve(maxIter int) int {
+	s.kd = make([]float64, s.l)
+	for t := 0; t < s.l; t++ {
+		s.kd[t] = s.k.At(t, t)
+	}
+	// Initialize gradient G = p + Q*alpha (alpha may be nonzero for nu-SVR).
+	s.g = append([]float64(nil), s.p...)
+	for j := 0; j < s.n; j++ {
+		if s.alpha[j] == 0 {
+			continue
+		}
+		aj := s.alpha[j]
+		for i := 0; i < s.n; i++ {
+			s.g[i] += aj * s.q(i, j)
+		}
+	}
+	const tau = 1e-12
+	for iter := 0; iter < maxIter; iter++ {
+		i, j := s.selectWorkingSet()
+		if i < 0 {
+			return iter
+		}
+		ai, aj := s.alpha[i], s.alpha[j]
+		qij := s.q(i, j)
+		if s.sign[i] != s.sign[j] {
+			quad := s.q(i, i) + s.q(j, j) + 2*qij
+			if quad <= 0 {
+				quad = tau
+			}
+			delta := (-s.g[i] - s.g[j]) / quad
+			diff := ai - aj
+			s.alpha[i] += delta
+			s.alpha[j] += delta
+			if diff > 0 {
+				if s.alpha[j] < 0 {
+					s.alpha[j] = 0
+					s.alpha[i] = diff
+				}
+			} else {
+				if s.alpha[i] < 0 {
+					s.alpha[i] = 0
+					s.alpha[j] = -diff
+				}
+			}
+			if diff > 0 {
+				if s.alpha[i] > s.c {
+					s.alpha[i] = s.c
+					s.alpha[j] = s.c - diff
+				}
+			} else {
+				if s.alpha[j] > s.c {
+					s.alpha[j] = s.c
+					s.alpha[i] = s.c + diff
+				}
+			}
+		} else {
+			quad := s.q(i, i) + s.q(j, j) - 2*qij
+			if quad <= 0 {
+				quad = tau
+			}
+			delta := (s.g[i] - s.g[j]) / quad
+			sum := ai + aj
+			s.alpha[i] -= delta
+			s.alpha[j] += delta
+			if sum > s.c {
+				if s.alpha[i] > s.c {
+					s.alpha[i] = s.c
+					s.alpha[j] = sum - s.c
+				}
+			} else {
+				if s.alpha[j] < 0 {
+					s.alpha[j] = 0
+					s.alpha[i] = sum
+				}
+			}
+			if sum > s.c {
+				if s.alpha[j] > s.c {
+					s.alpha[j] = s.c
+					s.alpha[i] = sum - s.c
+				}
+			} else {
+				if s.alpha[i] < 0 {
+					s.alpha[i] = 0
+					s.alpha[j] = sum
+				}
+			}
+		}
+		di, dj := s.alpha[i]-ai, s.alpha[j]-aj
+		if di == 0 && dj == 0 {
+			return iter
+		}
+		// Gradient update via raw kernel rows: Q[t][i] = sign_t sign_i K,
+		// and sign_{t+l} = -sign_t, so the two halves get opposite deltas.
+		ki := s.k.Row(i % s.l)
+		kj := s.k.Row(j % s.l)
+		wi := float64(s.sign[i]) * di
+		wj := float64(s.sign[j]) * dj
+		gLow := s.g[s.l:]
+		for t := 0; t < s.l; t++ {
+			v := wi*ki[t] + wj*kj[t]
+			s.g[t] += v
+			gLow[t] -= v
+		}
+	}
+	return maxIter
+}
+
+// selectWorkingSet returns the next working pair using libsvm's
+// second-order selection (WSS2), or (-1, -1) on convergence: i is the
+// maximal violator in I_up; j minimizes the quadratic objective decrease
+// among violating members of I_low. For nu problems the pair is restricted
+// to one sign class, following libsvm's Solver_NU.
+func (s *smoSolver) selectWorkingSet() (int, int) {
+	const tau = 1e-12
+	// secondOrderJ picks j among candidates in I_low (restricted to the
+	// given sign class for nu problems) given the chosen i.
+	secondOrderJ := func(i int, gmax float64, class int8) (int, float64) {
+		j := -1
+		objMin := math.Inf(1)
+		gmin := math.Inf(1)
+		ki := s.k.Row(i % s.l)
+		kdi := s.kd[i%s.l]
+		// consider evaluates candidate t with precomputed -y_t*G_t.
+		consider := func(t, tl int, ygt float64) {
+			if ygt < gmin {
+				gmin = ygt
+			}
+			b := gmax - ygt
+			if b <= 0 {
+				return
+			}
+			// y_i y_t Q_it = K_it regardless of signs.
+			quad := kdi + s.kd[tl] - 2*ki[tl]
+			if quad <= 0 {
+				quad = tau
+			}
+			if obj := -b * b / quad; obj < objMin {
+				objMin = obj
+				j = t
+			}
+		}
+		// First half: sign +1, I_low means alpha > 0, -yG = -G.
+		if class >= 0 {
+			for t := 0; t < s.l; t++ {
+				if s.alpha[t] > 0 {
+					consider(t, t, -s.g[t])
+				}
+			}
+		}
+		// Second half: sign -1, I_low means alpha < C, -yG = +G.
+		if class <= 0 {
+			for t := s.l; t < s.n; t++ {
+				if s.alpha[t] < s.c {
+					consider(t, t-s.l, s.g[t])
+				}
+			}
+		}
+		return j, gmin
+	}
+
+	if !s.nu {
+		gmax := math.Inf(-1)
+		i := -1
+		for t := 0; t < s.l; t++ { // sign +1: I_up means alpha < C
+			if s.alpha[t] < s.c {
+				if yg := -s.g[t]; yg > gmax {
+					gmax, i = yg, t
+				}
+			}
+		}
+		for t := s.l; t < s.n; t++ { // sign -1: I_up means alpha > 0
+			if s.alpha[t] > 0 {
+				if yg := s.g[t]; yg > gmax {
+					gmax, i = yg, t
+				}
+			}
+		}
+		if i < 0 {
+			return -1, -1
+		}
+		j, gmin := secondOrderJ(i, gmax, 0)
+		if j < 0 || gmax-gmin < s.tol {
+			return -1, -1
+		}
+		return i, j
+	}
+
+	// Solver_NU: best violator per sign class, second-order j within the
+	// same class, then take the class with the larger violation.
+	gmaxP, gmaxN := math.Inf(-1), math.Inf(-1)
+	ip, in := -1, -1
+	for t := 0; t < s.l; t++ { // sign +1
+		if s.alpha[t] < s.c {
+			if yg := -s.g[t]; yg > gmaxP {
+				gmaxP, ip = yg, t
+			}
+		}
+	}
+	for t := s.l; t < s.n; t++ { // sign -1
+		if s.alpha[t] > 0 {
+			if yg := s.g[t]; yg > gmaxN {
+				gmaxN, in = yg, t
+			}
+		}
+	}
+	jp, jn := -1, -1
+	gminP, gminN := math.Inf(1), math.Inf(1)
+	if ip >= 0 {
+		jp, gminP = secondOrderJ(ip, gmaxP, 1)
+	}
+	if in >= 0 {
+		jn, gminN = secondOrderJ(in, gmaxN, -1)
+	}
+	vp, vn := math.Inf(-1), math.Inf(-1)
+	if ip >= 0 && jp >= 0 {
+		vp = gmaxP - gminP
+	}
+	if in >= 0 && jn >= 0 {
+		vn = gmaxN - gminN
+	}
+	if math.Max(vp, vn) < s.tol {
+		return -1, -1
+	}
+	if vp >= vn {
+		return ip, jp
+	}
+	return in, jn
+}
+
+// rho computes the bias following libsvm (calculate_rho); the returned
+// value is libsvm's rho, and the regression bias is b = -rho.
+func (s *smoSolver) rho() float64 {
+	if !s.nu {
+		nFree := 0
+		var sumFree float64
+		ub, lb := math.Inf(1), math.Inf(-1)
+		for t := 0; t < s.n; t++ {
+			yg := float64(s.sign[t]) * s.g[t]
+			switch {
+			case s.alpha[t] >= s.c:
+				if s.sign[t] == -1 {
+					ub = math.Min(ub, yg)
+				} else {
+					lb = math.Max(lb, yg)
+				}
+			case s.alpha[t] <= 0:
+				if s.sign[t] == 1 {
+					ub = math.Min(ub, yg)
+				} else {
+					lb = math.Max(lb, yg)
+				}
+			default:
+				nFree++
+				sumFree += yg
+			}
+		}
+		if nFree > 0 {
+			return sumFree / float64(nFree)
+		}
+		return (ub + lb) / 2
+	}
+	// Solver_NU rho.
+	var nf1, nf2 int
+	var sum1, sum2 float64
+	ub1, lb1 := math.Inf(1), math.Inf(-1)
+	ub2, lb2 := math.Inf(1), math.Inf(-1)
+	for t := 0; t < s.n; t++ {
+		if s.sign[t] == 1 {
+			switch {
+			case s.alpha[t] >= s.c:
+				lb1 = math.Max(lb1, s.g[t])
+			case s.alpha[t] <= 0:
+				ub1 = math.Min(ub1, s.g[t])
+			default:
+				nf1++
+				sum1 += s.g[t]
+			}
+		} else {
+			switch {
+			case s.alpha[t] >= s.c:
+				lb2 = math.Max(lb2, s.g[t])
+			case s.alpha[t] <= 0:
+				ub2 = math.Min(ub2, s.g[t])
+			default:
+				nf2++
+				sum2 += s.g[t]
+			}
+		}
+	}
+	r1 := (ub1 + lb1) / 2
+	if nf1 > 0 {
+		r1 = sum1 / float64(nf1)
+	}
+	r2 := (ub2 + lb2) / 2
+	if nf2 > 0 {
+		r2 = sum2 / float64(nf2)
+	}
+	return (r1 - r2) / 2
+}

@@ -1,0 +1,199 @@
+package opt
+
+import (
+	"math"
+
+	"qpp/internal/plan"
+)
+
+// PostgreSQL's planner cost constants. The optimizer costs plans with
+// these abstract units; the virtual device clock measures "real" seconds
+// with a different (richer) model — the gap between the two is exactly
+// what Section 5.2 of the paper demonstrates with Figure 5.
+const (
+	seqPageCost       = 1.0
+	randomPageCost    = 4.0
+	cpuTupleCost      = 0.01
+	cpuIndexTupleCost = 0.005
+	cpuOperatorCost   = 0.0025
+)
+
+// costSeqScan fills the estimate for a sequential scan node.
+func (p *planner) costSeqScan(n *plan.Node, tableRows, tablePages, sel, filterOps float64) {
+	n.Est.Pages = tablePages
+	n.Est.Rows = math.Max(1, tableRows*sel)
+	n.Est.Selectivity = sel
+	run := seqPageCost*tablePages + cpuTupleCost*tableRows + cpuOperatorCost*filterOps*tableRows
+	n.Est.StartupCost = 0
+	n.Est.TotalCost = run
+	n.Est.Width = n.Width()
+}
+
+// costIndexScan fills the estimate for an index scan expected to fetch
+// matchRows of a table clustered on the index key.
+func (p *planner) costIndexScan(n *plan.Node, matchRows, tableRows, tablePages, sel float64) {
+	fetched := math.Max(1, matchRows)
+	// Heap pages touched, assuming index-order clustering.
+	pages := math.Min(tablePages, fetched/4+2)
+	n.Est.Pages = pages
+	n.Est.Rows = math.Max(1, matchRows*sel)
+	n.Est.Selectivity = sel
+	n.Est.StartupCost = 0
+	n.Est.TotalCost = randomPageCost*2 + // descent
+		randomPageCost*pages + cpuIndexTupleCost*fetched + cpuTupleCost*fetched
+	n.Est.Width = n.Width()
+	_ = tableRows
+}
+
+// costSort fills the estimate for a sort over its child.
+func (p *planner) costSort(n *plan.Node) {
+	c := n.Children[0]
+	rows := math.Max(1, c.Est.Rows)
+	comp := 2 * cpuOperatorCost * rows * math.Log2(rows+1)
+	n.Est.Rows = c.Est.Rows
+	n.Est.Width = c.Est.Width
+	n.Est.Selectivity = 1
+	n.Est.StartupCost = c.Est.TotalCost + comp
+	n.Est.TotalCost = n.Est.StartupCost + cpuTupleCost*rows
+	// External sort I/O when the input exceeds work_mem.
+	bytes := rows * math.Max(8, c.Est.Width)
+	if workBytes := float64(p.workMemPages) * 8192; bytes > workBytes {
+		pages := bytes / 8192
+		n.Est.Pages = pages
+		n.Est.StartupCost += 2 * seqPageCost * pages
+		n.Est.TotalCost += 2 * seqPageCost * pages
+	}
+}
+
+// costMaterialize fills the estimate for a materialize node.
+func (p *planner) costMaterialize(n *plan.Node) {
+	c := n.Children[0]
+	rows := math.Max(1, c.Est.Rows)
+	n.Est.Rows = c.Est.Rows
+	n.Est.Width = c.Est.Width
+	n.Est.Selectivity = 1
+	n.Est.StartupCost = c.Est.StartupCost
+	n.Est.TotalCost = c.Est.TotalCost + 2*cpuOperatorCost*rows
+}
+
+// rescanCost is the cost of re-reading a materialized child.
+func rescanCost(inner *plan.Node) float64 {
+	rows := math.Max(1, inner.Est.Rows)
+	switch inner.Op {
+	case plan.OpMaterialize, plan.OpSort:
+		return cpuOperatorCost * rows
+	default:
+		return inner.Est.TotalCost
+	}
+}
+
+// costLimit fills the estimate for LIMIT n: a fraction of the child cost.
+func (p *planner) costLimit(n *plan.Node) {
+	c := n.Children[0]
+	frac := 1.0
+	if c.Est.Rows > 0 {
+		frac = math.Min(1, float64(n.LimitN)/c.Est.Rows)
+	}
+	n.Est.Rows = math.Min(float64(n.LimitN), math.Max(1, c.Est.Rows))
+	n.Est.Width = c.Est.Width
+	n.Est.Selectivity = 1
+	n.Est.StartupCost = c.Est.StartupCost
+	n.Est.TotalCost = c.Est.StartupCost + (c.Est.TotalCost-c.Est.StartupCost)*frac
+}
+
+// costAggregate fills the estimate for an aggregation node.
+func (p *planner) costAggregate(n *plan.Node, groups float64) {
+	c := n.Children[0]
+	rows := math.Max(1, c.Est.Rows)
+	aggOps := float64(len(n.Aggs)+len(n.GroupBy)) * rows * cpuOperatorCost
+	n.Est.Rows = math.Max(1, groups)
+	n.Est.Selectivity = 1
+	n.Est.Width = n.Width()
+	switch n.Op {
+	case plan.OpGroupAgg:
+		n.Est.StartupCost = c.Est.StartupCost
+		n.Est.TotalCost = c.Est.TotalCost + aggOps + cpuTupleCost*groups
+	default: // HashAggregate, Aggregate
+		n.Est.StartupCost = c.Est.TotalCost + aggOps
+		n.Est.TotalCost = n.Est.StartupCost + cpuTupleCost*groups
+	}
+}
+
+// costResult fills the estimate for a projection/result node.
+func (p *planner) costResult(n *plan.Node, projOps, sel float64) {
+	c := n.Children[0]
+	rows := math.Max(1, c.Est.Rows)
+	n.Est.Rows = math.Max(1, c.Est.Rows*sel)
+	n.Est.Selectivity = sel
+	n.Est.Width = n.Width()
+	n.Est.StartupCost = c.Est.StartupCost
+	n.Est.TotalCost = c.Est.TotalCost + cpuOperatorCost*projOps*rows + cpuTupleCost*rows
+}
+
+// costHash fills the estimate for a Hash build node.
+func (p *planner) costHash(n *plan.Node) {
+	c := n.Children[0]
+	rows := math.Max(1, c.Est.Rows)
+	n.Est.Rows = c.Est.Rows
+	n.Est.Width = c.Est.Width
+	n.Est.Selectivity = 1
+	n.Est.StartupCost = c.Est.TotalCost + cpuOperatorCost*rows
+	n.Est.TotalCost = n.Est.StartupCost
+}
+
+// costHashJoin fills the estimate for a hash join whose right child is the
+// Hash build node. joinRows is the estimated output cardinality.
+func (p *planner) costHashJoin(n *plan.Node, joinRows float64) {
+	l, r := n.Children[0], n.Children[1]
+	probeRows := math.Max(1, l.Est.Rows)
+	n.Est.Rows = math.Max(1, joinRows)
+	n.Est.Width = n.Width()
+	n.Est.Selectivity = 1
+	n.Est.StartupCost = r.Est.TotalCost + l.Est.StartupCost
+	n.Est.TotalCost = n.Est.StartupCost +
+		(l.Est.TotalCost - l.Est.StartupCost) +
+		cpuOperatorCost*probeRows + cpuTupleCost*math.Max(1, joinRows)
+	// Batched (spilling) hash join I/O.
+	buildBytes := math.Max(1, r.Est.Rows) * math.Max(8, r.Est.Width)
+	if workBytes := float64(p.workMemPages) * 8192; buildBytes > workBytes {
+		pages := buildBytes / 8192
+		n.Est.Pages = pages
+		n.Est.TotalCost += 2 * seqPageCost * pages
+	}
+}
+
+// costNestedLoop fills the estimate for a nested-loop join.
+func (p *planner) costNestedLoop(n *plan.Node, joinRows float64) {
+	l, r := n.Children[0], n.Children[1]
+	outerRows := math.Max(1, l.Est.Rows)
+	n.Est.Rows = math.Max(1, joinRows)
+	n.Est.Width = n.Width()
+	n.Est.Selectivity = 1
+	n.Est.StartupCost = l.Est.StartupCost + r.Est.StartupCost
+	n.Est.TotalCost = l.Est.TotalCost + r.Est.TotalCost +
+		(outerRows-1)*rescanCost(r) +
+		cpuTupleCost*outerRows*math.Max(1, r.Est.Rows)
+}
+
+// costMergeJoin fills the estimate for a merge join over sorted inputs.
+func (p *planner) costMergeJoin(n *plan.Node, joinRows float64) {
+	l, r := n.Children[0], n.Children[1]
+	n.Est.Rows = math.Max(1, joinRows)
+	n.Est.Width = n.Width()
+	n.Est.Selectivity = 1
+	n.Est.StartupCost = l.Est.StartupCost + r.Est.StartupCost
+	n.Est.TotalCost = l.Est.TotalCost + r.Est.TotalCost +
+		cpuOperatorCost*(math.Max(1, l.Est.Rows)+math.Max(1, r.Est.Rows)) +
+		cpuTupleCost*math.Max(1, joinRows)
+}
+
+// costSubqueryScan fills the estimate for a derived-table scan.
+func (p *planner) costSubqueryScan(n *plan.Node, sel, filterOps float64) {
+	c := n.Children[0]
+	rows := math.Max(1, c.Est.Rows)
+	n.Est.Rows = math.Max(1, c.Est.Rows*sel)
+	n.Est.Selectivity = sel
+	n.Est.Width = c.Est.Width
+	n.Est.StartupCost = c.Est.StartupCost
+	n.Est.TotalCost = c.Est.TotalCost + (cpuTupleCost+cpuOperatorCost*filterOps)*rows
+}

@@ -1,0 +1,377 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qpp/internal/plan"
+	"qpp/internal/sql"
+	"qpp/internal/types"
+)
+
+// joinTree is a DP-search entry: a fully built and costed plan fragment
+// covering a set of relations.
+type joinTree struct {
+	set    relSet
+	node   *plan.Node
+	schema []schemaCol
+}
+
+// joinEdge is an equi-join predicate between two relations.
+type joinEdge struct {
+	lRel, lCol int
+	rRel, rCol int
+	raw        sql.Expr
+	used       *bool // shared marker so finalization knows it was consumed
+}
+
+// ndvOf estimates the distinct count of a column, clamped by rel rows.
+func (p *planner) ndvOf(rel, col int, relRows float64) float64 {
+	if cs := p.colStats(schemaCol{rel: rel, col: col}); cs != nil && cs.NDV > 0 {
+		return math.Min(cs.NDV, math.Max(1, relRows))
+	}
+	return math.Max(1, relRows)
+}
+
+// orderJoins runs DP over the relation scans using the equi-join edges,
+// returning the cheapest full join tree. Greedy pairing bridges
+// disconnected graphs (cross products) as a fallback.
+func (p *planner) orderJoins(scans []*joinTree, edges []joinEdge, sc *scope) (*joinTree, error) {
+	if len(scans) == 0 {
+		return nil, fmt.Errorf("opt: empty FROM list")
+	}
+	if len(scans) == 1 {
+		return scans[0], nil
+	}
+	memo := map[relSet]*joinTree{}
+	var full relSet
+	for _, s := range scans {
+		memo[s.set] = s
+		full = full.union(s.set)
+	}
+	sets := make([]relSet, 0, len(memo))
+	for s := range memo {
+		sets = append(sets, s)
+	}
+	sort.Slice(sets, func(i, j int) bool { return sets[i] < sets[j] })
+	// DP by increasing subset size over connected combinations.
+	for size := 2; size <= len(scans); size++ {
+		grown := []relSet{}
+		for _, s1 := range sets {
+			for _, s2 := range sets {
+				if s1&s2 != 0 {
+					continue
+				}
+				union := s1.union(s2)
+				if union.count() != size {
+					continue
+				}
+				t1, ok1 := memo[union&s1]
+				t2, ok2 := memo[union&s2]
+				if !ok1 || !ok2 {
+					continue
+				}
+				if !p.connected(t1.set, t2.set, edges) {
+					continue
+				}
+				cand, err := p.bestJoin(t1, t2, edges, sc)
+				if err != nil {
+					return nil, err
+				}
+				if prev, ok := memo[union]; !ok || cand.node.Est.TotalCost < prev.node.Est.TotalCost {
+					if _, ok := memo[union]; !ok {
+						grown = append(grown, union)
+					}
+					memo[union] = cand
+				}
+			}
+		}
+		sort.Slice(grown, func(i, j int) bool { return grown[i] < grown[j] })
+		sets = append(sets, grown...)
+	}
+	if t, ok := memo[full]; ok {
+		return t, nil
+	}
+	// Disconnected join graph: greedily cross-join the components.
+	components := []*joinTree{}
+	covered := relSet(0)
+	// Pick the largest memoized fragments first.
+	memoKeys := make([]relSet, 0, len(memo))
+	for s := range memo {
+		memoKeys = append(memoKeys, s)
+	}
+	sort.Slice(memoKeys, func(i, j int) bool { return memoKeys[i] < memoKeys[j] })
+	for covered != full {
+		var best *joinTree
+		for _, s := range memoKeys {
+			if s&covered != 0 {
+				continue
+			}
+			if t := memo[s]; best == nil || s.count() > best.set.count() {
+				best = t
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("opt: join ordering failed")
+		}
+		components = append(components, best)
+		covered = covered.union(best.set)
+	}
+	cur := components[0]
+	for _, c := range components[1:] {
+		var err error
+		cur, err = p.bestJoin(cur, c, edges, sc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+func (p *planner) connected(s1, s2 relSet, edges []joinEdge) bool {
+	for _, e := range edges {
+		if (s1.has(e.lRel) && s2.has(e.rRel)) || (s1.has(e.rRel) && s2.has(e.lRel)) {
+			return true
+		}
+	}
+	return false
+}
+
+// bestJoin builds the cheapest physical join of two fragments, trying hash
+// join (either build side), nested loop with a materialized inner, nested
+// loop with a parameterized index scan, and merge join where applicable.
+func (p *planner) bestJoin(l, r *joinTree, edges []joinEdge, sc *scope) (*joinTree, error) {
+	type keyed struct {
+		lCol, rCol int // offsets in l.schema / r.schema
+		edge       *joinEdge
+	}
+	var keys []keyed
+	joinSel := 1.0
+	for i := range edges {
+		e := &edges[i]
+		var lc, rc schemaCol
+		var lOff, rOff int
+		var ok bool
+		switch {
+		case l.set.has(e.lRel) && r.set.has(e.rRel):
+			lOff, ok = offsetIn(l.schema, e.lRel, e.lCol)
+			if !ok {
+				continue
+			}
+			rOff, _ = offsetIn(r.schema, e.rRel, e.rCol)
+			lc, rc = l.schema[lOff], r.schema[rOff]
+		case l.set.has(e.rRel) && r.set.has(e.lRel):
+			lOff, ok = offsetIn(l.schema, e.rRel, e.rCol)
+			if !ok {
+				continue
+			}
+			rOff, _ = offsetIn(r.schema, e.lRel, e.lCol)
+			lc, rc = l.schema[lOff], r.schema[rOff]
+		default:
+			continue
+		}
+		keys = append(keys, keyed{lCol: lOff, rCol: rOff, edge: e})
+		ndv := math.Max(p.ndvOf(lc.rel, lc.col, l.node.Est.Rows), p.ndvOf(rc.rel, rc.col, r.node.Est.Rows))
+		joinSel /= math.Max(1, ndv)
+	}
+	joinRows := math.Max(1, l.node.Est.Rows*r.node.Est.Rows*joinSel)
+	outSchema := append(append([]schemaCol{}, l.schema...), r.schema...)
+	outCols := p.planColumns(outSchema, joinRows)
+
+	mkKeyScalars := func() (kl, kr []plan.Scalar) {
+		for _, k := range keys {
+			kl = append(kl, &plan.Col{Idx: k.lCol, K: l.schema[k.lCol].kind, Name: l.schema[k.lCol].name})
+			kr = append(kr, &plan.Col{Idx: k.rCol, K: r.schema[k.rCol].kind, Name: r.schema[k.rCol].name})
+		}
+		return
+	}
+
+	var best *joinTree
+
+	consider := func(n *plan.Node) {
+		if best == nil || n.Est.TotalCost < best.node.Est.TotalCost {
+			best = &joinTree{set: l.set.union(r.set), node: n, schema: outSchema}
+		}
+	}
+
+	// Hash join (only with at least one equi key).
+	if len(keys) > 0 {
+		kl, kr := mkKeyScalars()
+		hash := &plan.Node{Op: plan.OpHash, Children: []*plan.Node{r.node}, Cols: r.node.Cols}
+		p.costHash(hash)
+		hj := &plan.Node{
+			Op: plan.OpHashJoin, JoinType: plan.JoinInner,
+			Children:  []*plan.Node{l.node, hash},
+			Cols:      outCols,
+			HashKeysL: kl, HashKeysR: kr,
+		}
+		p.costHashJoin(hj, joinRows)
+		consider(hj)
+	}
+
+	// Nested loop with parameterized index scan: r must be a single base
+	// relation whose PK leading column is one of the join keys.
+	if r.set.count() == 1 && r.node.Op == plan.OpSeqScan {
+		ri := p.relByID[firstRel(r.set)]
+		if ri != nil && ri.table != "" {
+			meta, _ := p.db.Schema.Table(ri.table)
+			if meta != nil && len(meta.PrimaryKey) > 0 {
+				pkCol := meta.PrimaryKey[0]
+				for _, k := range keys {
+					if r.schema[k.rCol].col != pkCol {
+						continue
+					}
+					st, _ := p.db.TableStats(ri.table)
+					idx := &plan.Node{
+						Op: plan.OpIndexScan, Table: ri.table, Alias: ri.alias,
+						Index:       ri.table + "_pkey",
+						Cols:        r.node.Cols,
+						Filter:      r.node.Filter,
+						LookupExprs: []plan.Scalar{&plan.Col{Idx: k.lCol, K: l.schema[k.lCol].kind, Name: l.schema[k.lCol].name}},
+					}
+					matches := 1.0
+					if st != nil {
+						matches = math.Max(1, float64(st.RowCount)/p.ndvOf(ri.id, pkCol, float64(st.RowCount)))
+					}
+					p.costIndexScan(idx, matches, float64(st.RowCount), float64(st.Pages), r.node.Est.Selectivity)
+					nl := &plan.Node{
+						Op: plan.OpNestedLoop, JoinType: plan.JoinInner,
+						Children: []*plan.Node{l.node, idx},
+						Cols:     outCols,
+					}
+					// Residual keys beyond the index one become a join filter.
+					var resid plan.Scalar
+					for _, k2 := range keys {
+						if k2 == k {
+							continue
+						}
+						eq := &plan.Bin{Op: plan.BEq,
+							L: &plan.Col{Idx: k2.lCol, K: l.schema[k2.lCol].kind, Name: l.schema[k2.lCol].name},
+							R: &plan.Col{Idx: len(l.schema) + k2.rCol, K: r.schema[k2.rCol].kind, Name: r.schema[k2.rCol].name},
+							K: types.KindBool,
+						}
+						resid = andScalars(resid, eq)
+					}
+					nl.JoinFilter = resid
+					p.costNestedLoop(nl, joinRows)
+					// costNestedLoop double-counts the inner as a full scan;
+					// adjust: inner cost is per-lookup.
+					nl.Est.TotalCost = l.node.Est.TotalCost +
+						math.Max(1, l.node.Est.Rows)*idx.Est.TotalCost +
+						cpuTupleCost*math.Max(1, joinRows)
+					nl.Est.StartupCost = l.node.Est.StartupCost
+					consider(nl)
+					break
+				}
+			}
+		}
+	}
+
+	// Nested loop with materialized inner (works without equi keys too —
+	// the only option for pure cross products and complex predicates).
+	{
+		mat := &plan.Node{Op: plan.OpMaterialize, Children: []*plan.Node{r.node}, Cols: r.node.Cols}
+		p.costMaterialize(mat)
+		nl := &plan.Node{
+			Op: plan.OpNestedLoop, JoinType: plan.JoinInner,
+			Children: []*plan.Node{l.node, mat},
+			Cols:     outCols,
+		}
+		var filter plan.Scalar
+		for _, k := range keys {
+			eq := &plan.Bin{Op: plan.BEq,
+				L: &plan.Col{Idx: k.lCol, K: l.schema[k.lCol].kind, Name: l.schema[k.lCol].name},
+				R: &plan.Col{Idx: len(l.schema) + k.rCol, K: r.schema[k.rCol].kind, Name: r.schema[k.rCol].name},
+				K: types.KindBool,
+			}
+			filter = andScalars(filter, eq)
+		}
+		nl.JoinFilter = filter
+		p.costNestedLoop(nl, joinRows)
+		consider(nl)
+	}
+
+	// Merge join: both sides single base relations joined on their PK
+	// leading columns (index order is key order).
+	if len(keys) == 1 && l.set.count() == 1 && r.set.count() == 1 &&
+		l.node.Op == plan.OpSeqScan && r.node.Op == plan.OpSeqScan {
+		li := p.relByID[firstRel(l.set)]
+		riR := p.relByID[firstRel(r.set)]
+		if li != nil && riR != nil && li.table != "" && riR.table != "" {
+			lMeta, _ := p.db.Schema.Table(li.table)
+			rMeta, _ := p.db.Schema.Table(riR.table)
+			k := keys[0]
+			if lMeta != nil && rMeta != nil &&
+				len(lMeta.PrimaryKey) > 0 && len(rMeta.PrimaryKey) > 0 &&
+				l.schema[k.lCol].col == lMeta.PrimaryKey[0] &&
+				r.schema[k.rCol].col == rMeta.PrimaryKey[0] {
+				lIdx := p.orderedScan(li, l.node)
+				rIdx := p.orderedScan(riR, r.node)
+				mj := &plan.Node{
+					Op: plan.OpMergeJoin, JoinType: plan.JoinInner,
+					Children:   []*plan.Node{lIdx, rIdx},
+					Cols:       outCols,
+					MergeKeysL: []int{k.lCol},
+					MergeKeysR: []int{k.rCol},
+				}
+				p.costMergeJoin(mj, joinRows)
+				consider(mj)
+			}
+		}
+	}
+
+	if best == nil {
+		return nil, fmt.Errorf("opt: no physical join for %v x %v", l.set, r.set)
+	}
+	for _, k := range keys {
+		*k.edge.used = true
+	}
+	return best, nil
+}
+
+// orderedScan converts a SeqScan into a full Index Scan that yields rows
+// in primary-key order (input for merge joins).
+func (p *planner) orderedScan(ri *relInfo, seq *plan.Node) *plan.Node {
+	st, _ := p.db.TableStats(ri.table)
+	idx := &plan.Node{
+		Op: plan.OpIndexScan, Table: ri.table, Alias: ri.alias,
+		Index:  ri.table + "_pkey",
+		Cols:   seq.Cols,
+		Filter: seq.Filter,
+	}
+	rows, pages := 1.0, 1.0
+	if st != nil {
+		rows, pages = float64(st.RowCount), float64(st.Pages)
+	}
+	p.costIndexScan(idx, rows, rows, pages, seq.Est.Selectivity)
+	return idx
+}
+
+func offsetIn(schema []schemaCol, rel, col int) (int, bool) {
+	for i, sc := range schema {
+		if sc.rel == rel && sc.col == col {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func firstRel(s relSet) int {
+	for i := 0; i < 64; i++ {
+		if s.has(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+func andScalars(a, b plan.Scalar) plan.Scalar {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &plan.Bin{Op: plan.BAnd, L: a, R: b, K: types.KindBool}
+}

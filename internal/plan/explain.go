@@ -1,0 +1,103 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the plan in PostgreSQL's EXPLAIN format, with actual
+// times appended when the plan has been executed (EXPLAIN ANALYZE style,
+// in virtual seconds).
+func Explain(root *Node) string {
+	var sb strings.Builder
+	writeExplain(&sb, root, 0, "")
+	for i, ip := range root.InitPlans {
+		fmt.Fprintf(&sb, "  InitPlan %d\n", i+1)
+		writeExplain(&sb, ip, 2, "-> ")
+	}
+	for i, sp := range root.SubPlans {
+		fmt.Fprintf(&sb, "  SubPlan %d\n", i+1)
+		writeExplain(&sb, sp, 2, "-> ")
+	}
+	return sb.String()
+}
+
+func writeExplain(sb *strings.Builder, n *Node, depth int, prefix string) {
+	indent := strings.Repeat("  ", depth)
+	head := string(n.Op)
+	switch n.Op {
+	case OpHashJoin, OpNestedLoop, OpMergeJoin:
+		if n.JoinType != JoinInner {
+			// e.g. "Hash Left Join", "Nested Loop Left Join"
+			base := strings.TrimSuffix(head, " Join")
+			if n.Op == OpNestedLoop {
+				head = fmt.Sprintf("%s %s Join", head, n.JoinType)
+			} else {
+				head = fmt.Sprintf("%s %s Join", base, n.JoinType)
+			}
+		}
+	}
+	if n.Table != "" {
+		if n.Alias != "" && n.Alias != n.Table {
+			head += fmt.Sprintf(" on %s %s", n.Table, n.Alias)
+		} else {
+			head += " on " + n.Table
+		}
+	}
+	if n.Index != "" {
+		head += " using " + n.Index
+	}
+	fmt.Fprintf(sb, "%s%s%s  (cost=%.2f..%.2f rows=%.0f width=%.0f)",
+		indent, prefix, head, n.Est.StartupCost, n.Est.TotalCost, n.Est.Rows, n.Est.Width)
+	if n.Act.Executed {
+		fmt.Fprintf(sb, " (actual time=%.4f..%.4f rows=%.0f loops=%d)",
+			n.Act.StartTime, n.Act.RunTime, n.Act.Rows, n.Act.Loops)
+	}
+	sb.WriteString("\n")
+
+	detail := func(label, text string) {
+		fmt.Fprintf(sb, "%s      %s: %s\n", indent, label, text)
+	}
+	if len(n.HashKeysL) > 0 {
+		conds := make([]string, len(n.HashKeysL))
+		for i := range n.HashKeysL {
+			conds[i] = n.HashKeysL[i].String() + " = " + n.HashKeysR[i].String()
+		}
+		label := "Hash Cond"
+		if n.Op == OpMergeJoin {
+			label = "Merge Cond"
+		}
+		detail(label, strings.Join(conds, " AND "))
+	}
+	if n.JoinFilter != nil {
+		detail("Join Filter", n.JoinFilter.String())
+	}
+	if n.Filter != nil {
+		detail("Filter", n.Filter.String())
+	}
+	if len(n.GroupBy) > 0 {
+		keys := make([]string, len(n.GroupBy))
+		for i, g := range n.GroupBy {
+			keys[i] = g.String()
+		}
+		detail("Group Key", strings.Join(keys, ", "))
+	}
+	if len(n.SortKeys) > 0 {
+		keys := make([]string, len(n.SortKeys))
+		for i, k := range n.SortKeys {
+			dir := ""
+			if k.Desc {
+				dir = " DESC"
+			}
+			name := fmt.Sprintf("column %d", k.Col)
+			if k.Col < len(n.Children[0].Cols) && n.Children[0].Cols[k.Col].Name != "" {
+				name = n.Children[0].Cols[k.Col].Name
+			}
+			keys[i] = name + dir
+		}
+		detail("Sort Key", strings.Join(keys, ", "))
+	}
+	for _, c := range n.Children {
+		writeExplain(sb, c, depth+1, "-> ")
+	}
+}

@@ -1,0 +1,217 @@
+package qpp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"qpp/internal/mlearn"
+	"qpp/internal/plan"
+)
+
+// Model materialization (Section 1 of the paper: "pre-build and
+// materialize such models offline, so that they are readily available for
+// future predictions"). Trained plan-level, operator-level and hybrid
+// predictors serialize to JSON and load back without retraining.
+
+type planModelState struct {
+	Cols       []int           `json:"cols"`
+	Model      json.RawMessage `json:"model"`
+	LogTarget  bool            `json:"log_target"`
+	Lo         []float64       `json:"lo"`
+	Hi         []float64       `json:"hi"`
+	TrainError float64         `json:"train_error"`
+}
+
+func (pm *PlanModel) marshal() (*planModelState, error) {
+	raw, err := mlearn.MarshalModel(pm.model)
+	if err != nil {
+		return nil, err
+	}
+	return &planModelState{
+		Cols: pm.cols, Model: raw, LogTarget: pm.logTarget,
+		Lo: pm.lo, Hi: pm.hi, TrainError: pm.TrainError,
+	}, nil
+}
+
+func unmarshalPlanModel(st *planModelState) (*PlanModel, error) {
+	m, err := mlearn.UnmarshalModel(st.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanModel{
+		cols: st.Cols, model: m, logTarget: st.LogTarget,
+		lo: st.Lo, hi: st.Hi, TrainError: st.TrainError,
+	}, nil
+}
+
+type opModelState struct {
+	Cols  []int           `json:"cols"`
+	Model json.RawMessage `json:"model"`
+}
+
+func (om *opModel) marshal() (*opModelState, error) {
+	raw, err := mlearn.MarshalModel(om.model)
+	if err != nil {
+		return nil, err
+	}
+	return &opModelState{Cols: om.cols, Model: raw}, nil
+}
+
+func unmarshalOpModel(st *opModelState) (*opModel, error) {
+	m, err := mlearn.UnmarshalModel(st.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &opModel{cols: st.Cols, model: m}, nil
+}
+
+type planLevelState struct {
+	Model *planModelState `json:"model"`
+	Mode  FeatureMode     `json:"mode"`
+}
+
+// Save materializes the plan-level predictor as JSON.
+func (p *PlanLevelPredictor) Save(w io.Writer) error {
+	st, err := p.Model.marshal()
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(planLevelState{Model: st, Mode: p.Mode})
+}
+
+// LoadPlanLevel restores a materialized plan-level predictor.
+func LoadPlanLevel(r io.Reader) (*PlanLevelPredictor, error) {
+	var st planLevelState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("qpp: load plan-level: %w", err)
+	}
+	pm, err := unmarshalPlanModel(st.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanLevelPredictor{Model: pm, Mode: st.Mode}, nil
+}
+
+type operatorLevelState struct {
+	Start         map[string]*opModelState `json:"start"`
+	Run           map[string]*opModelState `json:"run"`
+	Mode          FeatureMode              `json:"mode"`
+	FallbackStart float64                  `json:"fallback_start"`
+	FallbackRun   float64                  `json:"fallback_run"`
+}
+
+// Save materializes the operator-level predictor as JSON.
+func (p *OperatorLevelPredictor) Save(w io.Writer) error {
+	st := operatorLevelState{
+		Start: map[string]*opModelState{},
+		Run:   map[string]*opModelState{},
+		Mode:  p.Mode,
+	}
+	for op, m := range p.start {
+		s, err := m.marshal()
+		if err != nil {
+			return err
+		}
+		st.Start[string(op)] = s
+	}
+	for op, m := range p.run {
+		s, err := m.marshal()
+		if err != nil {
+			return err
+		}
+		st.Run[string(op)] = s
+	}
+	st.FallbackStart = p.fallbackStart.Value
+	st.FallbackRun = p.fallbackRun.Value
+	return json.NewEncoder(w).Encode(st)
+}
+
+// LoadOperatorLevel restores a materialized operator-level predictor.
+func LoadOperatorLevel(r io.Reader) (*OperatorLevelPredictor, error) {
+	var st operatorLevelState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("qpp: load operator-level: %w", err)
+	}
+	p := &OperatorLevelPredictor{
+		start:         map[plan.OpType]*opModel{},
+		run:           map[plan.OpType]*opModel{},
+		Mode:          st.Mode,
+		fallbackStart: &mlearn.ConstantModel{Value: st.FallbackStart},
+		fallbackRun:   &mlearn.ConstantModel{Value: st.FallbackRun},
+	}
+	for op, s := range st.Start {
+		m, err := unmarshalOpModel(s)
+		if err != nil {
+			return nil, err
+		}
+		p.start[plan.OpType(op)] = m
+	}
+	for op, s := range st.Run {
+		m, err := unmarshalOpModel(s)
+		if err != nil {
+			return nil, err
+		}
+		p.run[plan.OpType(op)] = m
+	}
+	return p, nil
+}
+
+type subplanModelsState struct {
+	Start *planModelState `json:"start"`
+	Run   *planModelState `json:"run"`
+}
+
+type hybridState struct {
+	Ops   json.RawMessage                `json:"ops"`
+	Plans map[string]*subplanModelsState `json:"plans"`
+	Mode  FeatureMode                    `json:"mode"`
+}
+
+// Save materializes the hybrid predictor: the operator models plus every
+// accepted sub-plan model, keyed by canonical signature.
+func (h *HybridPredictor) Save(w io.Writer) error {
+	var opsBuf bytes.Buffer
+	if err := h.Ops.Save(&opsBuf); err != nil {
+		return err
+	}
+	st := hybridState{Ops: json.RawMessage(opsBuf.Bytes()), Plans: map[string]*subplanModelsState{}, Mode: h.Mode}
+	for sig, pm := range h.Plans {
+		start, err := pm.Start.marshal()
+		if err != nil {
+			return err
+		}
+		run, err := pm.Run.marshal()
+		if err != nil {
+			return err
+		}
+		st.Plans[sig] = &subplanModelsState{Start: start, Run: run}
+	}
+	return json.NewEncoder(w).Encode(st)
+}
+
+// LoadHybrid restores a materialized hybrid predictor.
+func LoadHybrid(r io.Reader) (*HybridPredictor, error) {
+	var st hybridState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("qpp: load hybrid: %w", err)
+	}
+	ops, err := LoadOperatorLevel(bytes.NewReader(st.Ops))
+	if err != nil {
+		return nil, err
+	}
+	h := &HybridPredictor{Ops: ops, Plans: map[string]*SubplanModels{}, Mode: st.Mode}
+	for sig, s := range st.Plans {
+		start, err := unmarshalPlanModel(s.Start)
+		if err != nil {
+			return nil, err
+		}
+		run, err := unmarshalPlanModel(s.Run)
+		if err != nil {
+			return nil, err
+		}
+		h.Plans[sig] = &SubplanModels{Start: start, Run: run}
+	}
+	return h, nil
+}

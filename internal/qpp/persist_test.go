@@ -1,0 +1,96 @@
+package qpp_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qpp/internal/qpp"
+)
+
+func TestPlanLevelMaterialization(t *testing.T) {
+	ds := testDataset(t)
+	orig, err := qpp.TrainPlanLevel(ds.Records, qpp.FeatEstimates, qpp.DefaultPlanModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := qpp.LoadPlanLevel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ds.Records[:10] {
+		a, b := orig.Predict(r), loaded.Predict(r)
+		if a != b {
+			t.Fatalf("materialized model diverges: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestOperatorLevelMaterialization(t *testing.T) {
+	ds := testDataset(t)
+	recs := opOnly(ds.Records)
+	orig, err := qpp.TrainOperatorModels(recs, qpp.FeatEstimates, qpp.OpModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := qpp.LoadOperatorLevel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[:10] {
+		a, _ := orig.Predict(r, qpp.ChildTimesPredicted)
+		b, _ := loaded.Predict(r, qpp.ChildTimesPredicted)
+		if a != b {
+			t.Fatalf("materialized op models diverge: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestHybridMaterialization(t *testing.T) {
+	ds := testDataset(t)
+	recs := opOnly(ds.Records)
+	cfg := qpp.DefaultHybridConfig(qpp.ErrorBased)
+	cfg.MaxIters = 6
+	orig, _, err := qpp.TrainHybrid(recs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := qpp.LoadHybrid(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumPlanModels() != orig.NumPlanModels() {
+		t.Fatalf("plan model count %d vs %d", loaded.NumPlanModels(), orig.NumPlanModels())
+	}
+	for _, r := range recs[:10] {
+		a, _ := orig.Predict(r)
+		b, _ := loaded.Predict(r)
+		if a != b {
+			t.Fatalf("materialized hybrid diverges: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := qpp.LoadPlanLevel(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	if _, err := qpp.LoadOperatorLevel(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated json must fail")
+	}
+	if _, err := qpp.LoadHybrid(strings.NewReader("[]")); err == nil {
+		t.Fatal("wrong shape must fail")
+	}
+}

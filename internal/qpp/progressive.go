@@ -1,0 +1,110 @@
+package qpp
+
+import (
+	"math"
+	"sort"
+
+	"qpp/internal/plan"
+)
+
+// ProgressivePredictor implements the paper's Section 7 extension:
+// "supplement the static models with additional run-time features ...
+// obtained during the early stages of query execution, leading to an
+// online, progressive prediction model where predictions are continually
+// updated during query execution."
+//
+// At a virtual-time checkpoint t into a query's execution, every operator
+// that has already finished (CompletedAt <= t) contributes its *observed*
+// start/run times; unfinished sub-plans are still estimated with the
+// static models. As t grows, predictions converge to the true latency.
+type ProgressivePredictor struct {
+	// Base is the static model composed over unfinished sub-plans; it may
+	// be a pure operator-level predictor wrapped in a HybridPredictor with
+	// no plan models.
+	Base *HybridPredictor
+}
+
+// NewProgressivePredictor wraps a hybrid (or operator-level-only) model.
+func NewProgressivePredictor(base *HybridPredictor) *ProgressivePredictor {
+	return &ProgressivePredictor{Base: base}
+}
+
+// PredictAt estimates the query's total latency given everything observable
+// at the checkpoint (virtual seconds since the query started). The
+// returned value is never below the checkpoint itself — the query has
+// already run that long.
+func (p *ProgressivePredictor) PredictAt(rec *QueryRecord, checkpoint float64) (float64, error) {
+	if rec.Root.HasSubqueryStructures() {
+		return 0, ErrSubqueryPlan
+	}
+	_, rt := p.predictNodeAt(rec.Root, checkpoint)
+	return math.Max(rt, checkpoint), nil
+}
+
+func (p *ProgressivePredictor) predictNodeAt(n *plan.Node, checkpoint float64) (st, rt float64) {
+	// Fully observed sub-plan: use its measured timings.
+	if n.Act.Executed && n.Act.CompletedAt > 0 && n.Act.CompletedAt <= checkpoint {
+		return n.Act.StartTime, n.Act.RunTime
+	}
+	// A materialized plan-level model, when applicable, still predicts the
+	// whole subtree.
+	if pm, ok := p.Base.Plans[n.Signature()]; ok {
+		f := PlanFeatures(n, p.Base.Mode)
+		if pm.Run.InRange(f, ApplicabilityMargin) {
+			st = pm.Start.Predict(f)
+			rt = pm.Run.Predict(f)
+			if rt < st {
+				rt = st
+			}
+			return st, rt
+		}
+	}
+	var st1, rt1, st2, rt2 float64
+	if len(n.Children) > 0 {
+		st1, rt1 = p.predictNodeAt(n.Children[0], checkpoint)
+	}
+	if len(n.Children) > 1 {
+		st2, rt2 = p.predictNodeAt(n.Children[1], checkpoint)
+	}
+	return p.Base.Ops.predictWithChildren(n, st1, rt1, st2, rt2)
+}
+
+// TrajectoryPoint is one progressive prediction sample.
+type TrajectoryPoint struct {
+	// Fraction of the true execution time elapsed at the checkpoint.
+	Fraction float64
+	// Prediction of the total latency made at that checkpoint.
+	Prediction float64
+	// RelError is |actual - prediction| / actual.
+	RelError float64
+}
+
+// Trajectory evaluates progressive predictions at the given fractions of
+// the query's (known) total latency, showing how accuracy improves as the
+// query executes. Fractions are sorted ascending in the result.
+func (p *ProgressivePredictor) Trajectory(rec *QueryRecord, fractions []float64) ([]TrajectoryPoint, error) {
+	fs := append([]float64(nil), fractions...)
+	sort.Float64s(fs)
+	out := make([]TrajectoryPoint, 0, len(fs))
+	for _, f := range fs {
+		pred, err := p.PredictAt(rec, f*rec.Time)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TrajectoryPoint{
+			Fraction:   f,
+			Prediction: pred,
+			RelError:   relErrOf(rec.Time, pred),
+		})
+	}
+	return out, nil
+}
+
+func relErrOf(actual, estimate float64) float64 {
+	const floor = 1e-9
+	a := math.Abs(actual)
+	if a < floor {
+		a = floor
+	}
+	return math.Abs(actual-estimate) / a
+}

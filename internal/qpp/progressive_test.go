@@ -1,0 +1,115 @@
+package qpp_test
+
+import (
+	"math"
+	"testing"
+
+	"qpp/internal/qpp"
+)
+
+func TestProgressivePredictionConverges(t *testing.T) {
+	ds := testDataset(t)
+	recs := opOnly(ds.Records)
+	ops, err := qpp.TrainOperatorModels(recs, qpp.FeatEstimates, qpp.OpModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &qpp.HybridPredictor{Ops: ops, Plans: map[string]*qpp.SubplanModels{}, Mode: qpp.FeatEstimates}
+	prog := qpp.NewProgressivePredictor(base)
+
+	fractions := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	var sumErrAt = make([]float64, len(fractions))
+	n := 0
+	for _, r := range recs {
+		traj, err := prog.Trajectory(r, fractions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(traj) != len(fractions) {
+			t.Fatalf("trajectory points %d", len(traj))
+		}
+		for i, p := range traj {
+			if math.IsNaN(p.Prediction) || p.Prediction < 0 {
+				t.Fatalf("bad progressive prediction %+v", p)
+			}
+			// The prediction can never be below the elapsed time.
+			if p.Prediction < p.Fraction*r.Time-1e-12 {
+				t.Fatalf("prediction %v below checkpoint %v", p.Prediction, p.Fraction*r.Time)
+			}
+			sumErrAt[i] += p.RelError
+		}
+		n++
+	}
+	// Average error must improve from the static prediction (fraction 0)
+	// to the near-complete checkpoint, and be tiny at completion.
+	e0 := sumErrAt[0] / float64(n)
+	eLast := sumErrAt[len(fractions)-1] / float64(n)
+	t.Logf("progressive MRE: start=%.3f end=%.3f", e0, eLast)
+	if eLast > e0 {
+		t.Fatalf("progressive prediction should improve: %.3f -> %.3f", e0, eLast)
+	}
+	if eLast > 0.05 {
+		t.Fatalf("at query completion the prediction should be nearly exact, got %.3f", eLast)
+	}
+}
+
+func TestProgressiveRejectsSubqueryPlans(t *testing.T) {
+	ds := testDataset(t)
+	recs := opOnly(ds.Records)
+	ops, err := qpp.TrainOperatorModels(recs, qpp.FeatEstimates, qpp.OpModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &qpp.HybridPredictor{Ops: ops, Plans: map[string]*qpp.SubplanModels{}, Mode: qpp.FeatEstimates}
+	prog := qpp.NewProgressivePredictor(base)
+	for _, r := range ds.Records {
+		if r.Root.HasSubqueryStructures() {
+			if _, err := prog.PredictAt(r, 0); err != qpp.ErrSubqueryPlan {
+				t.Fatalf("want ErrSubqueryPlan, got %v", err)
+			}
+			return
+		}
+	}
+	t.Skip("no subquery plans in dataset")
+}
+
+func TestMetricPredictors(t *testing.T) {
+	ds := testDataset(t)
+	for _, m := range []qpp.Metric{qpp.MetricPagesRead, qpp.MetricRowsOut, qpp.MetricLatency} {
+		p, err := qpp.TrainPlanLevelMetric(ds.Records, m, qpp.FeatEstimates, qpp.DefaultPlanModelConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var act, pred []float64
+		for _, r := range ds.Records {
+			act = append(act, qpp.MetricValue(r, m))
+			pred = append(pred, p.Predict(r))
+		}
+		// In-sample accuracy sanity: the model must carry real signal.
+		var num, den float64
+		for i := range act {
+			num += math.Abs(act[i] - pred[i])
+			den += math.Abs(act[i]) + 1e-9
+		}
+		if num/den > 0.5 {
+			t.Fatalf("%s: weighted error %.3f too high", m, num/den)
+		}
+	}
+	if qpp.MetricPagesRead.String() != "pages-read" || qpp.MetricLatency.String() != "latency" {
+		t.Fatal("metric names")
+	}
+}
+
+func TestMetricValueExtraction(t *testing.T) {
+	ds := testDataset(t)
+	r := ds.Records[0]
+	if qpp.MetricValue(r, qpp.MetricLatency) != r.Time {
+		t.Fatal("latency metric")
+	}
+	if qpp.MetricValue(r, qpp.MetricPagesRead) <= 0 {
+		t.Fatal("pages metric should be positive")
+	}
+	if qpp.MetricValue(r, qpp.MetricRowsOut) != r.Root.Act.Rows {
+		t.Fatal("rows metric")
+	}
+}

@@ -1,0 +1,122 @@
+// Package sql implements the SQL front-end: a lexer, an AST, and a
+// recursive-descent parser for the analytical subset TPC-H needs — joins
+// (including LEFT OUTER), grouping with HAVING, ordering and LIMIT,
+// IN/EXISTS/scalar subqueries (correlated and uncorrelated), CASE, LIKE,
+// BETWEEN, EXTRACT, SUBSTRING, and date/interval arithmetic.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind int
+
+const (
+	// TokEOF marks the end of input.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or keyword (keywords are matched
+	// case-insensitively by the parser).
+	TokIdent
+	// TokNumber is an integer or decimal literal.
+	TokNumber
+	// TokString is a single-quoted string literal (quotes stripped).
+	TokString
+	// TokOp is an operator or punctuation token.
+	TokOp
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // identifiers are lowercased; operators verbatim
+	Pos  int    // byte offset in the input
+}
+
+// Lex tokenizes a SQL string. SQL comments (-- to end of line) are skipped.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			seenDot := false
+			for i < n && (unicode.IsDigit(rune(input[i])) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, Token{TokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, Token{TokString, sb.String(), start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			toks = append(toks, Token{TokIdent, strings.ToLower(input[start:i]), start})
+		default:
+			start := i
+			// Two-character operators first.
+			if i+1 < n {
+				two := input[i : i+2]
+				switch two {
+				case "<=", ">=", "<>", "!=", "||":
+					toks = append(toks, Token{TokOp, two, start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', '.', '+', '-', '*', '/', '=', '<', '>', ';':
+				toks = append(toks, Token{TokOp, string(c), start})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

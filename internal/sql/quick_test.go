@@ -1,0 +1,116 @@
+package sql
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qpp/internal/types"
+)
+
+// randExpr generates a random expression tree of bounded depth; used for
+// the property test that rendering and re-parsing is a fixed point.
+func randExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &Literal{Value: types.Int(int64(rng.Intn(1000)))}
+		case 1:
+			return &Literal{Value: types.Float(float64(rng.Intn(100)) + 0.25)}
+		case 2:
+			return &Literal{Value: types.Str("s")}
+		default:
+			return &ColumnRef{Name: "c" + string(rune('a'+rng.Intn(5)))}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		ops := []BinaryOp{OpAdd, OpSub, OpMul, OpDiv}
+		return &BinaryExpr{Op: ops[rng.Intn(len(ops))], L: randExpr(rng, depth-1), R: randExpr(rng, depth-1)}
+	case 1:
+		ops := []BinaryOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+		return &BinaryExpr{Op: ops[rng.Intn(len(ops))], L: randExpr(rng, depth-1), R: randExpr(rng, depth-1)}
+	case 2:
+		ops := []BinaryOp{OpAnd, OpOr}
+		return &BinaryExpr{Op: ops[rng.Intn(len(ops))], L: randExpr(rng, depth-1), R: randExpr(rng, depth-1)}
+	case 3:
+		return &NotExpr{E: randExpr(rng, depth-1)}
+	case 4:
+		return &BetweenExpr{E: randExpr(rng, depth-1), Lo: randExpr(rng, 0), Hi: randExpr(rng, 0), Negated: rng.Intn(2) == 0}
+	case 5:
+		n := 1 + rng.Intn(3)
+		in := &InExpr{E: randExpr(rng, depth-1), Negated: rng.Intn(2) == 0}
+		for i := 0; i < n; i++ {
+			in.List = append(in.List, randExpr(rng, 0))
+		}
+		return in
+	case 6:
+		c := &CaseExpr{Else: randExpr(rng, 0)}
+		c.Whens = append(c.Whens, WhenClause{Cond: randExpr(rng, depth-1), Then: randExpr(rng, 0)})
+		return c
+	default:
+		return &LikeExpr{E: &ColumnRef{Name: "cx"}, Pattern: "%a_b%", Negated: rng.Intn(2) == 0}
+	}
+}
+
+// TestParserFixedPointProperty checks that for random expression trees,
+// rendering to SQL and parsing back is a fixed point of the SQL renderer:
+// SQL(parse(SQL(e))) == SQL(e).
+func TestParserFixedPointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		stmt := &SelectStmt{
+			Items: []SelectItem{{E: randExpr(rng, 3)}},
+			From:  []FromItem{{Table: "t"}},
+			Where: randExpr(rng, 3),
+			Limit: -1,
+		}
+		text := stmt.SQL()
+		parsed, err := Parse(text)
+		if err != nil {
+			t.Logf("failed to re-parse: %v\n%s", err, text)
+			return false
+		}
+		return parsed.SQL() == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCountDistinct(t *testing.T) {
+	stmt, err := Parse("select count(distinct a), sum(distinct b) from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := stmt.Items[0].E.(*FuncCall)
+	if !f0.Distinct || f0.Name != "count" {
+		t.Fatalf("count distinct: %+v", f0)
+	}
+	if !stmt.Items[1].E.(*FuncCall).Distinct {
+		t.Fatal("sum distinct")
+	}
+	if f0.SQL() != "count(distinct a)" {
+		t.Fatalf("rendering %q", f0.SQL())
+	}
+	// Round trip.
+	again, err := Parse(stmt.SQL())
+	if err != nil || again.SQL() != stmt.SQL() {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	stmt, err := Parse("select 1 from t where a is null and b is not null")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := stmt.SQL()
+	if text != "select 1 from t where ((a is null) and (b is not null))" {
+		t.Fatalf("rendering %q", text)
+	}
+	again, err := Parse(text)
+	if err != nil || again.SQL() != text {
+		t.Fatalf("round trip: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qpp/internal/catalog"
+	"qpp/internal/types"
+)
+
+func csvMeta() *catalog.Table {
+	return &catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "id", Type: types.KindInt},
+			{Name: "price", Type: types.KindFloat},
+			{Name: "name", Type: types.KindString},
+			{Name: "d", Type: types.KindDate},
+		},
+		PrimaryKey: []int{0},
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	meta := csvMeta()
+	rows := []Row{
+		{types.Int(1), types.Float(9.5), types.Str("widget, large"), types.Date(types.MustDate("1994-01-01"))},
+		{types.Int(2), types.Float(-1.25), types.Str(`quoted "name"`), types.Date(types.MustDate("1998-12-31"))},
+		{types.Null, types.Float(0), types.Str(""), types.Date(0)},
+	}
+	tab := NewTable(meta, rows)
+	var buf bytes.Buffer
+	if err := WriteCSV(tab, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(meta, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("rows %d want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			a, b := rows[i][j], got[i][j]
+			if a.IsNull() != b.IsNull() {
+				t.Fatalf("row %d col %d null mismatch", i, j)
+			}
+			if !a.IsNull() && !types.Equal(a, b) {
+				// Floats go through %.2f formatting; compare strings.
+				if a.String() != b.String() {
+					t.Fatalf("row %d col %d: %v vs %v", i, j, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	meta := csvMeta()
+	cases := []string{
+		"",                       // no header
+		"wrong,header,names,x\n", // header mismatch
+		"id,price,name,d\nnotanint,1,x,1994-01-01\n", // bad int
+		"id,price,name,d\n1,notafloat,x,1994-01-01\n",
+		"id,price,name,d\n1,1,x,notadate\n",
+		"id,price,name,d\n1,1\n", // wrong arity
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(meta, strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestReadCSVNullHandling(t *testing.T) {
+	meta := csvMeta()
+	rows, err := ReadCSV(meta, strings.NewReader("id,price,name,d\nNULL,NULL,NULL,NULL\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range rows[0] {
+		if !rows[0][j].IsNull() {
+			t.Fatalf("col %d should be NULL", j)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package tpch
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qpp/internal/storage"
+)
+
+func TestCSVDirRoundTrip(t *testing.T) {
+	db, err := Generate(GenConfig{ScaleFactor: 0.001, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, name := range db.Schema.TableNames() {
+		tab, _ := db.Table(name)
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := storage.WriteCSV(tab, f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	loaded, err := LoadCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range db.Schema.TableNames() {
+		a, _ := db.Table(name)
+		b, _ := loaded.Table(name)
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("%s: %d vs %d rows", name, len(a.Rows), len(b.Rows))
+		}
+	}
+	// Integer keys must round-trip exactly; check lineitem joins still line up.
+	a, _ := db.Table(Lineitem)
+	b, _ := loaded.Table(Lineitem)
+	for i := 0; i < len(a.Rows); i += 97 {
+		if a.Rows[i][0].I != b.Rows[i][0].I || a.Rows[i][3].I != b.Rows[i][3].I {
+			t.Fatalf("row %d key mismatch", i)
+		}
+	}
+	if _, err := LoadCSVDir(t.TempDir()); err == nil {
+		t.Fatal("empty dir must fail")
+	}
+}

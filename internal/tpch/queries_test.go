@@ -1,0 +1,177 @@
+package tpch
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qpp/internal/sql"
+)
+
+func TestEveryTemplateParses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tmpl := range Templates {
+		for i := 0; i < 5; i++ {
+			q, err := GenQuery(tmpl, rng)
+			if err != nil {
+				t.Fatalf("template %d: %v", tmpl, err)
+			}
+			if q.Template != tmpl {
+				t.Fatalf("template id mismatch")
+			}
+			if _, err := sql.Parse(q.SQL); err != nil {
+				t.Fatalf("template %d instance %d does not parse: %v\n%s", tmpl, i, err, q.SQL)
+			}
+		}
+	}
+}
+
+func TestTemplateParametersVary(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tmpl := range Templates {
+		texts := map[string]bool{}
+		for i := 0; i < 8; i++ {
+			q, err := GenQuery(tmpl, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			texts[q.SQL] = true
+		}
+		if len(texts) < 2 {
+			t.Errorf("template %d: parameters never vary", tmpl)
+		}
+	}
+}
+
+func TestGenQueryUnknownTemplate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := GenQuery(23, rng); err == nil {
+		t.Fatal("template 23 does not exist and must error")
+	}
+	if _, err := GenQuery(0, rng); err == nil {
+		t.Fatal("template 0 must error")
+	}
+}
+
+func TestExtraTemplatesParse(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, tmpl := range ExtraTemplates {
+		for i := 0; i < 5; i++ {
+			q, err := GenQuery(tmpl, rng)
+			if err != nil {
+				t.Fatalf("extra template %d: %v", tmpl, err)
+			}
+			if _, err := sql.Parse(q.SQL); err != nil {
+				t.Fatalf("extra template %d does not parse: %v\n%s", tmpl, err, q.SQL)
+			}
+		}
+	}
+	// Extra templates must stay out of the paper's workload.
+	for _, tmpl := range Templates {
+		for _, extra := range ExtraTemplates {
+			if tmpl == extra {
+				t.Fatalf("template %d must not be in the paper's 18", tmpl)
+			}
+		}
+	}
+}
+
+func TestGenWorkloadShapeAndDeterminism(t *testing.T) {
+	qs, err := GenWorkload([]int{1, 6}, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 6 {
+		t.Fatalf("workload size %d", len(qs))
+	}
+	counts := map[int]int{}
+	for _, q := range qs {
+		counts[q.Template]++
+	}
+	if counts[1] != 3 || counts[6] != 3 {
+		t.Fatalf("counts %v", counts)
+	}
+	qs2, err := GenWorkload([]int{1, 6}, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if qs[i].SQL != qs2[i].SQL {
+			t.Fatal("workload generation must be deterministic")
+		}
+	}
+	if _, err := GenWorkload([]int{99}, 1, 1); err == nil {
+		t.Fatal("unknown template in workload must error")
+	}
+}
+
+func TestTemplateListsConsistent(t *testing.T) {
+	all := map[int]bool{}
+	for _, tmpl := range Templates {
+		all[tmpl] = true
+	}
+	if len(Templates) != 18 {
+		t.Fatalf("templates %d", len(Templates))
+	}
+	for _, tmpl := range OperatorLevelTemplates {
+		if !all[tmpl] {
+			t.Fatalf("op-level template %d not in Templates", tmpl)
+		}
+	}
+	opSet := map[int]bool{}
+	for _, tmpl := range OperatorLevelTemplates {
+		opSet[tmpl] = true
+	}
+	// The paper's four excluded templates carry subquery structures.
+	for _, excluded := range []int{2, 11, 15, 22} {
+		if opSet[excluded] {
+			t.Fatalf("template %d must be excluded from operator-level modeling", excluded)
+		}
+	}
+	for _, tmpl := range DynamicWorkloadTemplates {
+		if !opSet[tmpl] {
+			t.Fatalf("dynamic template %d must be operator-level-capable", tmpl)
+		}
+	}
+	if len(DynamicWorkloadTemplates) != 12 {
+		t.Fatal("dynamic workload must have 12 templates")
+	}
+}
+
+func TestTemplateParameterRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Q1's DELTA must stay within [60, 120] days.
+	for i := 0; i < 20; i++ {
+		q, _ := GenQuery(1, rng)
+		if !strings.Contains(q.SQL, "interval '") {
+			t.Fatal("Q1 missing interval")
+		}
+	}
+	// Q6's quantity is 24 or 25.
+	for i := 0; i < 20; i++ {
+		q, _ := GenQuery(6, rng)
+		if !strings.Contains(q.SQL, "l_quantity < 24") && !strings.Contains(q.SQL, "l_quantity < 25") {
+			t.Fatalf("Q6 quantity parameter out of spec:\n%s", q.SQL)
+		}
+	}
+	// Q7 uses two distinct nations.
+	for i := 0; i < 10; i++ {
+		q, _ := GenQuery(7, rng)
+		start := strings.Index(q.SQL, "n1.n_name = '")
+		rest := q.SQL[start+len("n1.n_name = '"):]
+		n1 := rest[:strings.Index(rest, "'")]
+		start2 := strings.Index(q.SQL, "n2.n_name = '")
+		rest2 := q.SQL[start2+len("n2.n_name = '"):]
+		n2 := rest2[:strings.Index(rest2, "'")]
+		if n1 == n2 {
+			t.Fatalf("Q7 must pick two distinct nations, got %q twice", n1)
+		}
+	}
+	// Q22 lists exactly 7 country codes.
+	q, _ := GenQuery(22, rng)
+	inList := q.SQL[strings.Index(q.SQL, "in ("):]
+	inList = inList[:strings.Index(inList, ")")]
+	if n := strings.Count(inList, "'") / 2; n != 7 {
+		t.Fatalf("Q22 must list 7 country codes, got %d", n)
+	}
+}

@@ -1,0 +1,76 @@
+// Package tpch is a from-scratch, stdlib-only implementation of the TPC-H
+// benchmark substrate: the eight-table schema, a dbgen-style data generator
+// with spec-conformant distributions and formulas, and a qgen-style query
+// generator producing parameterized instances of the 18 query templates the
+// paper evaluates (Q1–Q15, Q18, Q19, Q22).
+package tpch
+
+import (
+	"qpp/internal/catalog"
+	"qpp/internal/types"
+)
+
+// Table names.
+const (
+	Region   = "region"
+	Nation   = "nation"
+	Supplier = "supplier"
+	Customer = "customer"
+	Part     = "part"
+	PartSupp = "partsupp"
+	Orders   = "orders"
+	Lineitem = "lineitem"
+)
+
+// CurrentDate is the benchmark's fixed "now" (TPC-H spec 4.2.3).
+var CurrentDate = types.MustDate("1995-06-17")
+
+// Schema returns the TPC-H schema with the spec-mandated primary keys.
+func Schema() *catalog.Schema {
+	s := catalog.NewSchema()
+	add := func(name string, pk []int, cols ...catalog.Column) {
+		if err := s.AddTable(&catalog.Table{Name: name, Columns: cols, PrimaryKey: pk}); err != nil {
+			panic(err)
+		}
+	}
+	c := func(n string, k types.Kind) catalog.Column { return catalog.Column{Name: n, Type: k} }
+
+	add(Region, []int{0},
+		c("r_regionkey", types.KindInt), c("r_name", types.KindString), c("r_comment", types.KindString))
+	add(Nation, []int{0},
+		c("n_nationkey", types.KindInt), c("n_name", types.KindString),
+		c("n_regionkey", types.KindInt), c("n_comment", types.KindString))
+	add(Supplier, []int{0},
+		c("s_suppkey", types.KindInt), c("s_name", types.KindString), c("s_address", types.KindString),
+		c("s_nationkey", types.KindInt), c("s_phone", types.KindString),
+		c("s_acctbal", types.KindFloat), c("s_comment", types.KindString))
+	add(Customer, []int{0},
+		c("c_custkey", types.KindInt), c("c_name", types.KindString), c("c_address", types.KindString),
+		c("c_nationkey", types.KindInt), c("c_phone", types.KindString), c("c_acctbal", types.KindFloat),
+		c("c_mktsegment", types.KindString), c("c_comment", types.KindString))
+	add(Part, []int{0},
+		c("p_partkey", types.KindInt), c("p_name", types.KindString), c("p_mfgr", types.KindString),
+		c("p_brand", types.KindString), c("p_type", types.KindString), c("p_size", types.KindInt),
+		c("p_container", types.KindString), c("p_retailprice", types.KindFloat),
+		c("p_comment", types.KindString))
+	add(PartSupp, []int{0, 1},
+		c("ps_partkey", types.KindInt), c("ps_suppkey", types.KindInt),
+		c("ps_availqty", types.KindInt), c("ps_supplycost", types.KindFloat),
+		c("ps_comment", types.KindString))
+	add(Orders, []int{0},
+		c("o_orderkey", types.KindInt), c("o_custkey", types.KindInt),
+		c("o_orderstatus", types.KindString), c("o_totalprice", types.KindFloat),
+		c("o_orderdate", types.KindDate), c("o_orderpriority", types.KindString),
+		c("o_clerk", types.KindString), c("o_shippriority", types.KindInt),
+		c("o_comment", types.KindString))
+	add(Lineitem, []int{0, 3},
+		c("l_orderkey", types.KindInt), c("l_partkey", types.KindInt), c("l_suppkey", types.KindInt),
+		c("l_linenumber", types.KindInt), c("l_quantity", types.KindFloat),
+		c("l_extendedprice", types.KindFloat), c("l_discount", types.KindFloat),
+		c("l_tax", types.KindFloat), c("l_returnflag", types.KindString),
+		c("l_linestatus", types.KindString), c("l_shipdate", types.KindDate),
+		c("l_commitdate", types.KindDate), c("l_receiptdate", types.KindDate),
+		c("l_shipinstruct", types.KindString), c("l_shipmode", types.KindString),
+		c("l_comment", types.KindString))
+	return s
+}

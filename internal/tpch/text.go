@@ -1,0 +1,122 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Word lists from the TPC-H specification (section 4.2.2 seed tables).
+
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// nationList pairs each of the 25 nations with its region key.
+var nationList = []struct {
+	Name   string
+	Region int64
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1}, {"EGYPT", 4},
+	{"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3}, {"INDIA", 2}, {"INDONESIA", 2},
+	{"IRAN", 4}, {"IRAQ", 4}, {"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0},
+	{"MOROCCO", 0}, {"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"RUSSIA", 3}, {"SAUDI ARABIA", 4}, {"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+	{"VIETNAM", 2},
+}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+
+var shipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+
+var typeSyllable1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+var typeSyllable2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+var typeSyllable3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+var containerSyllable1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+var containerSyllable2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+
+// nameWords is the 92-entry P_NAME color word list from the spec.
+var nameWords = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
+	"blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate",
+	"coral", "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim",
+	"dodger", "drab", "firebrick", "floral", "forest", "frosted", "gainsboro", "ghost",
+	"goldenrod", "green", "grey", "honeydew", "hot", "indian", "ivory", "khaki",
+	"lace", "lavender", "lawn", "lemon", "light", "lime", "linen", "magenta",
+	"maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin", "navajo",
+	"navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru",
+	"pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy",
+	"royal", "saddle", "salmon", "sandy", "seashell", "sienna", "sky", "slate",
+	"smoke", "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise",
+	"violet", "wheat", "white", "yellow",
+}
+
+// commentWords is a compact stand-in for dbgen's text grammar vocabulary.
+var commentWords = []string{
+	"carefully", "quickly", "furiously", "slyly", "blithely", "ironic", "final",
+	"bold", "regular", "express", "even", "silent", "pending", "unusual",
+	"accounts", "packages", "deposits", "requests", "instructions", "foxes",
+	"pinto", "beans", "theodolites", "dependencies", "platelets", "ideas",
+	"asymptotes", "somas", "dugouts", "warhorses", "sleep", "wake", "nag",
+	"haggle", "cajole", "integrate", "detect", "among", "above", "along",
+	"the", "across", "according", "to", "after", "against",
+}
+
+// randomComment produces dbgen-like pseudo text of nWords words. With the
+// given probability it embeds the "special … requests" pattern that query
+// 13's NOT LIKE predicate is defined against.
+func randomComment(rng *rand.Rand, nWords int, specialProb float64) string {
+	words := make([]string, nWords)
+	for i := range words {
+		words[i] = commentWords[rng.Intn(len(commentWords))]
+	}
+	if specialProb > 0 && nWords >= 2 && rng.Float64() < specialProb {
+		pos := rng.Intn(nWords - 1)
+		words[pos] = "special"
+		words[pos+1+rng.Intn(nWords-pos-1)] = "requests"
+	}
+	return strings.Join(words, " ")
+}
+
+// randomVString generates a random alphanumeric "address"-style string.
+func randomVString(rng *rand.Rand, minLen, maxLen int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,"
+	n := minLen + rng.Intn(maxLen-minLen+1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// phoneFor renders the spec's phone format for a nation key.
+func phoneFor(rng *rand.Rand, nationKey int64) string {
+	return fmt.Sprintf("%d-%03d-%03d-%04d", 10+nationKey,
+		100+rng.Intn(900), 100+rng.Intn(900), 1000+rng.Intn(9000))
+}
+
+// partName joins 5 distinct color words, per the spec's P_NAME rule.
+func partName(rng *rand.Rand) string {
+	idx := rng.Perm(len(nameWords))[:5]
+	parts := make([]string, 5)
+	for i, j := range idx {
+		parts[i] = nameWords[j]
+	}
+	return strings.Join(parts, " ")
+}
+
+// partType returns one of the 150 three-syllable part types.
+func partType(rng *rand.Rand) string {
+	return typeSyllable1[rng.Intn(len(typeSyllable1))] + " " +
+		typeSyllable2[rng.Intn(len(typeSyllable2))] + " " +
+		typeSyllable3[rng.Intn(len(typeSyllable3))]
+}
+
+// partContainer returns one of the 40 containers.
+func partContainer(rng *rand.Rand) string {
+	return containerSyllable1[rng.Intn(len(containerSyllable1))] + " " +
+		containerSyllable2[rng.Intn(len(containerSyllable2))]
+}

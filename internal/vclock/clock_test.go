@@ -1,0 +1,197 @@
+package vclock
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func noNoise() DeviceProfile {
+	p := DefaultProfile()
+	p.NoiseSigma = 0
+	return p
+}
+
+func TestSequentialVsRandomReads(t *testing.T) {
+	p := noNoise()
+	c := NewClock(p, 1)
+	c.ReadPage("t", 0, true)
+	seq := c.Now()
+	c2 := NewClock(p, 1)
+	c2.ReadPage("t", 0, false)
+	if c2.Now() <= seq {
+		t.Fatalf("random read %v should cost more than sequential %v", c2.Now(), seq)
+	}
+}
+
+func TestBufferCacheHits(t *testing.T) {
+	p := noNoise()
+	c := NewClock(p, 1)
+	c.ReadPage("t", 0, true)
+	cold := c.Now()
+	c.ReadPage("t", 0, true) // now cached
+	warmDelta := c.Now() - cold
+	if warmDelta >= cold {
+		t.Fatalf("cache hit %v should be far cheaper than cold read %v", warmDelta, cold)
+	}
+	if c.CacheHits != 1 || c.PagesRead != 2 {
+		t.Fatalf("hit accounting: hits=%v pages=%v", c.CacheHits, c.PagesRead)
+	}
+}
+
+func TestBufferEviction(t *testing.T) {
+	p := noNoise()
+	p.BufferPoolPages = 2
+	c := NewClock(p, 1)
+	c.ReadPage("t", 0, true)
+	c.ReadPage("t", 1, true)
+	c.ReadPage("t", 2, true) // evicts page 0
+	if c.ReadPage("t", 0, true) {
+		t.Fatal("page 0 should have been evicted")
+	}
+	if !c.ReadPage("t", 2, true) {
+		t.Fatal("page 2 should still be cached")
+	}
+}
+
+func TestCPUHidesBehindIO(t *testing.T) {
+	p := noNoise()
+	c := NewClock(p, 1)
+	c.ReadPage("t", 0, true)
+	afterIO := c.Now()
+	// CPU work well under the overlap credit should not advance the clock.
+	small := p.SeqPageRead * p.OverlapFrac * 0.5
+	c.chargeCPU(small)
+	if c.Now() != afterIO {
+		t.Fatalf("small CPU should hide behind I/O: %v vs %v", c.Now(), afterIO)
+	}
+	if c.HiddenCPU != small {
+		t.Fatalf("hidden accounting %v want %v", c.HiddenCPU, small)
+	}
+	// A large CPU burst must exceed the remaining credit and advance time.
+	c.chargeCPU(p.SeqPageRead)
+	if c.Now() <= afterIO {
+		t.Fatal("large CPU must advance the clock")
+	}
+}
+
+func TestBarrierClearsCredit(t *testing.T) {
+	p := noNoise()
+	c := NewClock(p, 1)
+	c.ReadPage("t", 0, true)
+	c.Barrier()
+	before := c.Now()
+	c.CPUTuples(1)
+	if c.Now() <= before {
+		t.Fatal("after a barrier CPU must not hide behind earlier I/O")
+	}
+}
+
+func TestNumericOpsCostMore(t *testing.T) {
+	p := noNoise()
+	a := NewClock(p, 1)
+	a.Barrier()
+	a.CPUOps(1000, 0)
+	b := NewClock(p, 1)
+	b.Barrier()
+	b.CPUOps(0, 1000)
+	if b.Now() <= a.Now()*5 {
+		t.Fatalf("numeric ops %v should be much slower than int ops %v", b.Now(), a.Now())
+	}
+}
+
+func TestSortAndSpill(t *testing.T) {
+	p := noNoise()
+	c := NewClock(p, 1)
+	c.SortCompares(1e6)
+	if math.Abs(c.Now()-1e6*p.SortCompare) > 1e-12 {
+		t.Fatalf("sort compare accounting %v", c.Now())
+	}
+	c2 := NewClock(p, 1)
+	c2.SpillPages(100)
+	if math.Abs(c2.Now()-200*p.SeqPageRead) > 1e-12 {
+		t.Fatalf("spill accounting %v", c2.Now())
+	}
+}
+
+func TestNoiseDeterministicPerSeed(t *testing.T) {
+	p := DefaultProfile()
+	run := func(seed int64) float64 {
+		c := NewClock(p, seed)
+		for i := int64(0); i < 100; i++ {
+			c.ReadPage("t", i, true)
+		}
+		c.CPUTuples(5000)
+		return c.Now()
+	}
+	if run(5) != run(5) {
+		t.Fatal("same seed must give identical time")
+	}
+	if run(5) == run(6) {
+		t.Fatal("different seeds should perturb the time")
+	}
+	// Noise should be modest.
+	ratio := run(5) / run(6)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("noise ratio %v too extreme", ratio)
+	}
+}
+
+func TestCrossTableCacheIsolation(t *testing.T) {
+	c := NewClock(noNoise(), 1)
+	c.ReadPage("a", 0, true)
+	if c.ReadPage("b", 0, true) {
+		t.Fatal("same page number of different table must not hit")
+	}
+}
+
+func TestClockMonotonicProperty(t *testing.T) {
+	// Property: virtual time never decreases, and strictly more work never
+	// yields less time.
+	f := func(seed int64) bool {
+		c := NewClock(DefaultProfile(), seed)
+		prev := 0.0
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				c.ReadPage("t", int64(rng.Intn(50)), rng.Intn(2) == 0)
+			case 1:
+				c.CPUTuples(float64(rng.Intn(100)))
+			case 2:
+				c.CPUOps(float64(rng.Intn(100)), float64(rng.Intn(10)))
+			case 3:
+				c.HashOps(float64(rng.Intn(100)))
+			case 4:
+				c.SortCompares(float64(rng.Intn(100)))
+			case 5:
+				c.Barrier()
+			}
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreWorkMoreTime(t *testing.T) {
+	p := noNoise()
+	run := func(pages int) float64 {
+		c := NewClock(p, 1)
+		for i := 0; i < pages; i++ {
+			c.ReadPage("t", int64(i), true)
+		}
+		c.Barrier()
+		c.CPUTuples(float64(pages) * 10)
+		return c.Now()
+	}
+	if !(run(10) < run(100) && run(100) < run(1000)) {
+		t.Fatal("time must grow with work")
+	}
+}
