@@ -13,8 +13,10 @@ package qperf_test
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"qpp/internal/exec"
 	"qpp/internal/experiments"
@@ -34,6 +36,7 @@ var (
 
 func benchmarkEnv(b *testing.B) *experiments.Env {
 	b.Helper()
+	skipIfShort(b)
 	benchEnvOnce.Do(func() {
 		cfg := experiments.Config{
 			LargeSF:     0.008,
@@ -49,6 +52,65 @@ func benchmarkEnv(b *testing.B) *experiments.Env {
 		b.Fatal(benchEnvErr)
 	}
 	return benchEnv
+}
+
+// skipIfShort keeps `go test -short -bench .` (and the -race CI pass)
+// from paying for full workload builds; the figure numbers they produce
+// are regeneration targets, not correctness checks.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("workload-scale benchmark skipped in short mode")
+	}
+}
+
+// BenchmarkBuildEnvParallel measures the worker-pool execution layer:
+// each iteration builds the same environment serially and with 4
+// workers and reports the wall-clock speedup. The two builds are
+// asserted bit-identical, so the metric prices determinism-preserving
+// parallelism, not a relaxed variant. On a single-core host (GOMAXPROCS
+// reported alongside) the speedup necessarily stays near 1x — the
+// workload is CPU-bound virtual-time simulation with no real I/O to
+// overlap — and reaches its intended >=1.5x only with 2+ cores.
+func BenchmarkBuildEnvParallel(b *testing.B) {
+	skipIfShort(b)
+	cfg := experiments.Config{
+		LargeSF:     0.004,
+		SmallSF:     0.002,
+		PerTemplate: 6,
+		Seed:        42,
+		TimeLimit:   300,
+		Folds:       4,
+	}
+	serialCfg, parCfg := cfg, cfg
+	serialCfg.Parallelism = 1
+	parCfg.Parallelism = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		serial, err := experiments.BuildEnv(serialCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialSec := time.Since(t0).Seconds()
+		t1 := time.Now()
+		par, err := experiments.BuildEnv(parCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parSec := time.Since(t1).Seconds()
+		if len(par.Large.Records) != len(serial.Large.Records) {
+			b.Fatalf("parallel build diverged: %d records vs %d",
+				len(par.Large.Records), len(serial.Large.Records))
+		}
+		for j, r := range par.Large.Records {
+			if r.Time != serial.Large.Records[j].Time {
+				b.Fatalf("record %d latency %v != serial %v", j, r.Time, serial.Large.Records[j].Time)
+			}
+		}
+		b.ReportMetric(serialSec/parSec, "speedup")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	}
 }
 
 // BenchmarkFig5OptimizerCostBaseline regenerates Figure 5 (Section 5.2).
@@ -249,6 +311,7 @@ func BenchmarkAblationChildTimeFeatures(b *testing.B) {
 // error comes from CPU/IO overlap in the device model: it runs one query
 // with and without the overlap term.
 func BenchmarkAblationPipelineOverlap(b *testing.B) {
+	skipIfShort(b)
 	db, err := tpch.Generate(tpch.GenConfig{ScaleFactor: 0.005, Seed: 3})
 	if err != nil {
 		b.Fatal(err)
@@ -284,6 +347,7 @@ func BenchmarkAblationPipelineOverlap(b *testing.B) {
 
 // BenchmarkPlanningThroughput measures optimizer latency across templates.
 func BenchmarkPlanningThroughput(b *testing.B) {
+	skipIfShort(b)
 	db, err := tpch.Generate(tpch.GenConfig{ScaleFactor: 0.002, Seed: 5})
 	if err != nil {
 		b.Fatal(err)
@@ -307,6 +371,7 @@ func BenchmarkPlanningThroughput(b *testing.B) {
 
 // BenchmarkExecutionQ6 measures executor throughput on template 6.
 func BenchmarkExecutionQ6(b *testing.B) {
+	skipIfShort(b)
 	db, err := tpch.Generate(tpch.GenConfig{ScaleFactor: 0.005, Seed: 6})
 	if err != nil {
 		b.Fatal(err)
@@ -330,6 +395,7 @@ func BenchmarkExecutionQ6(b *testing.B) {
 
 // BenchmarkSVRTraining measures nu-SVR fit time at workload scale.
 func BenchmarkSVRTraining(b *testing.B) {
+	skipIfShort(b)
 	rng := newRand(8)
 	n := 400
 	x := mlearn.NewMatrix(n, 10)

@@ -3,23 +3,32 @@
 // experiments, and prints the corresponding tables — one section per
 // figure of the paper.
 //
+// Query execution, cross-validation folds, and the figure drivers
+// themselves all run across a worker pool; results are bit-identical for
+// every worker count, so -parallel only changes wall-clock time.
+//
 // Usage:
 //
 //	qppexp                        # all experiments at full reproduction scale
 //	qppexp -exp fig5,fig6         # a subset
 //	qppexp -quick                 # reduced scale for a fast smoke run
 //	qppexp -per-template 20       # override workload size
+//	qppexp -parallel 8            # worker count (default GOMAXPROCS)
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"qpp/internal/experiments"
+	"qpp/internal/parallel"
 )
 
 func main() {
@@ -29,6 +38,7 @@ func main() {
 	smallSF := flag.Float64("small-sf", 0, "override small scale factor")
 	perTemplate := flag.Int("per-template", 0, "override queries per template")
 	seed := flag.Int64("seed", 0, "override seed")
+	par := flag.Int("parallel", 0, "worker goroutines for execution and training (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -47,6 +57,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Parallelism = *par
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
@@ -55,8 +66,9 @@ func main() {
 	all := want["all"]
 
 	fmt.Printf("# Learning-based QPP reproduction — experiment run\n")
-	fmt.Printf("# large SF=%v small SF=%v per-template=%d seed=%d folds=%d\n\n",
-		cfg.LargeSF, cfg.SmallSF, cfg.PerTemplate, cfg.Seed, cfg.Folds)
+	fmt.Printf("# large SF=%v small SF=%v per-template=%d seed=%d folds=%d workers=%d\n\n",
+		cfg.LargeSF, cfg.SmallSF, cfg.PerTemplate, cfg.Seed, cfg.Folds,
+		parallel.DefaultWorkers(cfg.Parallelism))
 
 	t0 := time.Now()
 	env, err := experiments.BuildEnv(cfg)
@@ -68,41 +80,62 @@ func main() {
 		len(env.Large.Records), env.Large.TimedOut,
 		len(env.Small.Records), env.Small.TimedOut)
 
-	run := func(name string, fn func() error) {
-		if !all && !want[name] {
-			return
-		}
-		start := time.Now()
-		if err := fn(); err != nil {
-			log.Fatalf("qppexp: %s: %v", name, err)
-		}
-		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	// The figure drivers are independent of each other: run them
+	// concurrently, buffering each section, then print in a fixed order so
+	// the report reads identically regardless of completion order.
+	type driver struct {
+		name string
+		fn   func(*experiments.Env, io.Writer) error
 	}
-
-	run("fig5", func() error { return runFig5(env) })
-	run("fig6", func() error { return runFig6(env) })
-	run("fig7", func() error { return runFig7(env) })
-	run("fig8", func() error { return runFig8(env) })
-	run("fig9", func() error { return runFig9(env) })
-	run("fig4", func() error { return runFig4(env) })
+	drivers := []driver{
+		{"fig5", runFig5},
+		{"fig6", runFig6},
+		{"fig7", runFig7},
+		{"fig8", runFig8},
+		{"fig9", runFig9},
+		{"fig4", runFig4},
+	}
+	var selected []driver
+	for _, d := range drivers {
+		if all || want[d.name] {
+			selected = append(selected, d)
+		}
+	}
+	outputs := make([]bytes.Buffer, len(selected))
+	elapsed := make([]time.Duration, len(selected))
+	err = parallel.ForEach(len(selected), cfg.Parallelism, func(i int) error {
+		start := time.Now()
+		if err := selected[i].fn(env, &outputs[i]); err != nil {
+			return fmt.Errorf("%s: %w", selected[i].name, err)
+		}
+		elapsed[i] = time.Since(start)
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("qppexp: %v", err)
+	}
+	for i, d := range selected {
+		io.Copy(os.Stdout, &outputs[i])
+		fmt.Printf("(%s completed in %v)\n\n", d.name, elapsed[i].Round(time.Millisecond))
+	}
 }
 
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
-func runFig5(env *experiments.Env) error {
+func runFig5(env *experiments.Env, w io.Writer) error {
 	res, err := experiments.Fig5(env)
 	if err != nil {
 		return err
 	}
-	fmt.Println("## Figure 5 / Section 5.2 — Prediction with the optimizer cost model")
-	fmt.Printf("least-squares fit: time = %.3g * cost + %.3g\n", res.Slope, res.Intercept)
-	fmt.Printf("relative error: min=%s mean=%s max=%s   (paper: 30%% / 120%% / 1744%%)\n",
+	fmt.Fprintln(w, "## Figure 5 / Section 5.2 — Prediction with the optimizer cost model")
+	fmt.Fprintf(w, "least-squares fit: time = %.3g * cost + %.3g\n", res.Slope, res.Intercept)
+	fmt.Fprintf(w, "relative error: min=%s mean=%s max=%s   (paper: 30%% / 120%% / 1744%%)\n",
 		pct(res.MinRel), pct(res.MeanRel), pct(res.MaxRel))
-	fmt.Printf("predictive risk: %.3f   (paper: ~0.93 — deceptively high)\n", res.PredictiveRisk)
-	fmt.Printf("scatter: %d (cost, time) points; sample:\n", len(res.Points))
+	fmt.Fprintf(w, "predictive risk: %.3f   (paper: ~0.93 — deceptively high)\n", res.PredictiveRisk)
+	fmt.Fprintf(w, "scatter: %d (cost, time) points; sample:\n", len(res.Points))
 	for i := 0; i < len(res.Points) && i < 5; i++ {
 		p := res.Points[i]
-		fmt.Printf("  T%-2d cost=%12.1f time=%8.3fs\n", p.Template, p.Cost, p.Time)
+		fmt.Fprintf(w, "  T%-2d cost=%12.1f time=%8.3fs\n", p.Template, p.Cost, p.Time)
 	}
 	return nil
 }
@@ -115,45 +148,45 @@ func templateTable(errs []experiments.TemplateError) string {
 	return sb.String()
 }
 
-func runFig6(env *experiments.Env) error {
+func runFig6(env *experiments.Env, w io.Writer) error {
 	res, err := experiments.Fig6(env)
 	if err != nil {
 		return err
 	}
-	fmt.Println("## Figure 6 / Section 5.3 — Static workload prediction")
-	fmt.Printf("### 6(a) Plan-level, large DB — mean %s (paper 6.75%%)\n%s",
+	fmt.Fprintln(w, "## Figure 6 / Section 5.3 — Static workload prediction")
+	fmt.Fprintf(w, "### 6(a) Plan-level, large DB — mean %s (paper 6.75%%)\n%s",
 		pct(res.PlanLargeMean), templateTable(res.PlanLarge))
-	fmt.Printf("### 6(c) Plan-level, small DB — mean %s (paper 17.43%%)\n%s",
+	fmt.Fprintf(w, "### 6(c) Plan-level, small DB — mean %s (paper 17.43%%)\n%s",
 		pct(res.PlanSmallMean), templateTable(res.PlanSmall))
-	fmt.Printf("### 6(d) Operator-level, large DB — mean %s over 14 (paper 53.9%%); best %d templates %s (paper: 11 at 7.3%%)\n%s",
+	fmt.Fprintf(w, "### 6(d) Operator-level, large DB — mean %s over 14 (paper 53.9%%); best %d templates %s (paper: 11 at 7.3%%)\n%s",
 		pct(res.OpLargeMean), res.OpLargeBestN, pct(res.OpLargeBestMean), templateTable(res.OpLarge))
-	fmt.Printf("### 6(f) Operator-level, small DB — mean %s over 14 (paper 59.6%%); best %d templates %s (paper: 8 at 16.45%%)\n%s",
+	fmt.Fprintf(w, "### 6(f) Operator-level, small DB — mean %s over 14 (paper 59.6%%); best %d templates %s (paper: 8 at 16.45%%)\n%s",
 		pct(res.OpSmallMean), res.OpSmallBestN, pct(res.OpSmallBestMean), templateTable(res.OpSmall))
-	fmt.Printf("### 6(b)/(e) scatter sizes: plan=%d points, op=%d points\n",
+	fmt.Fprintf(w, "### 6(b)/(e) scatter sizes: plan=%d points, op=%d points\n",
 		len(res.PlanLargeScatter), len(res.OpLargeScatter))
 	return nil
 }
 
-func runFig7(env *experiments.Env) error {
+func runFig7(env *experiments.Env, w io.Writer) error {
 	res, err := experiments.Fig7(env)
 	if err != nil {
 		return err
 	}
-	fmt.Println("## Figure 7 / Section 5.3.3 — Actual vs estimated feature values (large DB)")
-	fmt.Println("  train/test        plan-level   operator-level")
+	fmt.Fprintln(w, "## Figure 7 / Section 5.3.3 — Actual vs estimated feature values (large DB)")
+	fmt.Fprintln(w, "  train/test        plan-level   operator-level")
 	for _, c := range res.Combos {
-		fmt.Printf("  %-8s/%-9s %10s %14s\n", c.Train, c.Test, pct(c.PlanErr), pct(c.OpErr))
+		fmt.Fprintf(w, "  %-8s/%-9s %10s %14s\n", c.Train, c.Test, pct(c.PlanErr), pct(c.OpErr))
 	}
-	fmt.Printf("### 7(b) Plan-level actual/actual by template\n%s", templateTable(res.PlanActualByTemplate))
+	fmt.Fprintf(w, "### 7(b) Plan-level actual/actual by template\n%s", templateTable(res.PlanActualByTemplate))
 	return nil
 }
 
-func runFig8(env *experiments.Env) error {
+func runFig8(env *experiments.Env, w io.Writer) error {
 	res, err := experiments.Fig8(env)
 	if err != nil {
 		return err
 	}
-	fmt.Println("## Figure 8 / Section 5.3.4 — Hybrid plan-ordering strategies (held-out error vs iteration)")
+	fmt.Fprintln(w, "## Figure 8 / Section 5.3.4 — Hybrid plan-ordering strategies (held-out error vs iteration)")
 	names := make([]string, 0, len(res.Curves))
 	for n := range res.Curves {
 		names = append(names, n)
@@ -161,52 +194,52 @@ func runFig8(env *experiments.Env) error {
 	sort.Strings(names)
 	for _, name := range names {
 		curve := res.Curves[name]
-		fmt.Printf("  %-16s models=%d: ", name, res.ModelsAccepted[name])
+		fmt.Fprintf(w, "  %-16s models=%d: ", name, res.ModelsAccepted[name])
 		for _, p := range curve {
-			fmt.Printf("%d:%s ", p.Iter, pct(p.Error))
+			fmt.Fprintf(w, "%d:%s ", p.Iter, pct(p.Error))
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	return nil
 }
 
-func runFig9(env *experiments.Env) error {
+func runFig9(env *experiments.Env, w io.Writer) error {
 	res, err := experiments.Fig9(env)
 	if err != nil {
 		return err
 	}
-	fmt.Println("## Figure 9 / Section 5.4 — Dynamic workload (leave one template out)")
-	fmt.Println("  tmpl   plan-level   op-level   error-based   size-based   online")
+	fmt.Fprintln(w, "## Figure 9 / Section 5.4 — Dynamic workload (leave one template out)")
+	fmt.Fprintln(w, "  tmpl   plan-level   op-level   error-based   size-based   online")
 	for _, r := range res.Rows {
-		fmt.Printf("  T%-3d %10s %10s %12s %12s %9s\n", r.Template,
+		fmt.Fprintf(w, "  T%-3d %10s %10s %12s %12s %9s\n", r.Template,
 			pct(r.PlanLevel), pct(r.OpLevel), pct(r.ErrorBased), pct(r.SizeBased), pct(r.Online))
 	}
-	fmt.Printf("  mean %10s %10s %12s %12s %9s\n",
+	fmt.Fprintf(w, "  mean %10s %10s %12s %12s %9s\n",
 		pct(res.PlanMean), pct(res.OpMean), pct(res.ErrMean), pct(res.SizeMean), pct(res.OnlineMean))
 	return nil
 }
 
-func runFig4(env *experiments.Env) error {
+func runFig4(env *experiments.Env, w io.Writer) error {
 	res, err := experiments.Fig4(env)
 	if err != nil {
 		return err
 	}
-	fmt.Println("## Figure 4 / Section 4 — Common sub-plan analysis (14 templates, large DB)")
-	fmt.Println("### 4(a) CDF of common sub-plan sizes")
+	fmt.Fprintln(w, "## Figure 4 / Section 4 — Common sub-plan analysis (14 templates, large DB)")
+	fmt.Fprintln(w, "### 4(a) CDF of common sub-plan sizes")
 	for _, p := range res.SizeCDF {
-		fmt.Printf("  size<=%-3d F=%.2f\n", p.Size, p.F)
+		fmt.Fprintf(w, "  size<=%-3d F=%.2f\n", p.Size, p.F)
 	}
-	fmt.Println("### 4(b) Most common sub-plans")
+	fmt.Fprintln(w, "### 4(b) Most common sub-plans")
 	for _, s := range res.TopSubplans {
 		sig := s.Signature
 		if len(sig) > 90 {
 			sig = sig[:90] + "…"
 		}
-		fmt.Printf("  %4d occurrences in %2d templates (size %d): %s\n", s.Occurrences, s.Templates, s.Size, sig)
+		fmt.Fprintf(w, "  %4d occurrences in %2d templates (size %d): %s\n", s.Occurrences, s.Templates, s.Size, sig)
 	}
-	fmt.Println("### 4(c) Templates sharing common sub-plans")
+	fmt.Fprintln(w, "### 4(c) Templates sharing common sub-plans")
 	for _, s := range res.Sharing {
-		fmt.Printf("  T%-3d shares with %d other templates\n", s.Template, s.SharesWith)
+		fmt.Fprintf(w, "  T%-3d shares with %d other templates\n", s.Template, s.SharesWith)
 	}
 	return nil
 }

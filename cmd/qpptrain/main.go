@@ -28,6 +28,7 @@ func main() {
 	out := flag.String("out", "", "directory to materialize trained models into")
 	load := flag.String("load", "", "directory to load materialized models from (skips training)")
 	strategy := flag.String("strategy", "error", "hybrid strategy: error, size, frequency")
+	par := flag.Int("parallel", 0, "worker goroutines for workload execution (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	var strat qperf.HybridStrategy
@@ -58,6 +59,7 @@ func main() {
 			Templates:   qperf.OperatorLevelTemplates(),
 			PerTemplate: *perTemplate,
 			Seed:        *seed,
+			Parallelism: *par,
 		})
 		if err != nil {
 			log.Fatalf("qpptrain: %v", err)
@@ -86,6 +88,7 @@ func main() {
 		Templates:   qperf.OperatorLevelTemplates(),
 		PerTemplate: *testPerTemplate,
 		Seed:        *seed + 100000,
+		Parallelism: *par,
 	})
 	if err != nil {
 		log.Fatalf("qpptrain: %v", err)

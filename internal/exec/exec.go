@@ -5,6 +5,13 @@
 // that records the paper's two timing observables — start-time (virtual
 // time until the first output tuple) and run-time (total virtual time of
 // the sub-plan rooted at the node) — plus actual row and page counts.
+//
+// Concurrency contract: Run never mutates the database (tables, indexes
+// and statistics are read-only after load), so any number of queries may
+// execute concurrently against one Database as long as each call gets its
+// own plan tree and its own Clock. Run writes instrumentation into the
+// plan nodes it is given, so a plan tree must not be shared between
+// concurrent Runs — the workload layer plans each query privately.
 package exec
 
 import (

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"qpp/internal/plan"
+	"qpp/internal/workload"
+)
+
+// determinismConfig picks the scale for the parallel-replay regression
+// test: the full QuickConfig normally, a reduced build under -short or
+// the race detector (several-fold slowdown on this workload). The
+// determinism contract being checked does not depend on scale.
+func determinismConfig(t *testing.T) Config {
+	if testing.Short() || raceEnabled {
+		return Config{
+			LargeSF:     0.003,
+			SmallSF:     0.0015,
+			PerTemplate: 4,
+			Seed:        42,
+			TimeLimit:   120,
+			Folds:       3,
+		}
+	}
+	return QuickConfig()
+}
+
+// flattenActuals collects every node of a record's plan (main tree,
+// init-plans and sub-plans, pre-order) as (operator, instrumentation)
+// pairs for lockstep comparison.
+type nodeObs struct {
+	Op  plan.OpType
+	Act plan.Actuals
+}
+
+func flattenActuals(root *plan.Node) []nodeObs {
+	var out []nodeObs
+	root.Walk(func(n *plan.Node) {
+		out = append(out, nodeObs{Op: n.Op, Act: n.Act})
+	})
+	return out
+}
+
+// requireDatasetsIdentical asserts ds is bit-identical to the serial
+// reference: same records in the same order, identical SQL, latencies,
+// per-operator timings, and timeout accounting.
+func requireDatasetsIdentical(t *testing.T, label string, ref, ds *workload.Dataset) {
+	t.Helper()
+	if len(ds.Records) != len(ref.Records) {
+		t.Fatalf("%s: %d records, serial reference has %d", label, len(ds.Records), len(ref.Records))
+	}
+	if !reflect.DeepEqual(ds.TimedOut, ref.TimedOut) {
+		t.Fatalf("%s: timeout accounting %v != serial %v", label, ds.TimedOut, ref.TimedOut)
+	}
+	for i, r := range ds.Records {
+		want := ref.Records[i]
+		if r.Template != want.Template || r.SQL != want.SQL {
+			t.Fatalf("%s: record %d is query (t%d, %q), serial ran (t%d, %q)",
+				label, i, r.Template, r.SQL, want.Template, want.SQL)
+		}
+		// Bit-identical latency, not approximately equal: the per-index
+		// seeding scheme promises the exact same float64.
+		if r.Time != want.Time {
+			t.Fatalf("%s: record %d latency %v != serial %v", label, i, r.Time, want.Time)
+		}
+		got, ref := flattenActuals(r.Root), flattenActuals(want.Root)
+		if len(got) != len(ref) {
+			t.Fatalf("%s: record %d plan has %d nodes, serial %d", label, i, len(got), len(ref))
+		}
+		for j := range got {
+			if got[j] != ref[j] {
+				t.Fatalf("%s: record %d node %d: %+v != serial %+v", label, i, j, got[j], ref[j])
+			}
+		}
+	}
+}
+
+// TestParallelDeterminism is the regression test for the parallel
+// execution layer's core guarantee: for a fixed seed, building the
+// workload with 1, 2 or 8 workers yields bit-identical per-query
+// latencies, operator timings and figure rows as the serial run.
+func TestParallelDeterminism(t *testing.T) {
+	cfg := determinismConfig(t)
+
+	cfg.Parallelism = 1 // serial reference
+	ref, err := BuildEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFig5, err := Fig5(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFig6, err := Fig6(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		cfg.Parallelism = workers
+		env, err := BuildEnv(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		requireDatasetsIdentical(t, nameWorkers("large", workers), ref.Large, env.Large)
+		requireDatasetsIdentical(t, nameWorkers("small", workers), ref.Small, env.Small)
+
+		fig5, err := Fig5(env)
+		if err != nil {
+			t.Fatalf("workers=%d: fig5: %v", workers, err)
+		}
+		if !reflect.DeepEqual(fig5, refFig5) {
+			t.Fatalf("workers=%d: fig5 rows diverge from serial:\n%+v\nvs\n%+v", workers, fig5, refFig5)
+		}
+		fig6, err := Fig6(env)
+		if err != nil {
+			t.Fatalf("workers=%d: fig6: %v", workers, err)
+		}
+		if !reflect.DeepEqual(fig6, refFig6) {
+			t.Fatalf("workers=%d: fig6 rows diverge from serial:\n%+v\nvs\n%+v", workers, fig6, refFig6)
+		}
+	}
+}
+
+func nameWorkers(ds string, workers int) string {
+	return fmt.Sprintf("%s dataset, workers=%d", ds, workers)
+}

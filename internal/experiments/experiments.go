@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"qpp/internal/mlearn"
+	"qpp/internal/parallel"
 	"qpp/internal/qpp"
 	"qpp/internal/workload"
 )
@@ -30,6 +31,10 @@ type Config struct {
 	TimeLimit float64
 	// Folds for cross-validated evaluations (paper: 5).
 	Folds int
+	// Parallelism is the worker count for query execution, fold training
+	// and independent figure sub-experiments (<= 0: GOMAXPROCS, 1:
+	// serial). Every result is bit-identical across worker counts.
+	Parallelism int
 }
 
 // DefaultConfig returns the full-scale reproduction settings.
@@ -63,13 +68,17 @@ type Env struct {
 	Small *workload.Dataset
 }
 
-// BuildEnv generates and executes both workloads.
+// BuildEnv generates and executes both workloads. The two datasets are
+// built one after the other (each is internally parallel across
+// cfg.Parallelism workers, so running them back to back keeps the worker
+// pool saturated without oversubscribing it).
 func BuildEnv(cfg Config) (*Env, error) {
 	large, err := workload.Build(workload.Config{
 		ScaleFactor: cfg.LargeSF,
 		PerTemplate: cfg.PerTemplate,
 		Seed:        cfg.Seed,
 		TimeLimit:   cfg.TimeLimit,
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: large dataset: %w", err)
@@ -79,6 +88,7 @@ func BuildEnv(cfg Config) (*Env, error) {
 		PerTemplate: cfg.PerTemplate,
 		Seed:        cfg.Seed + 1000,
 		TimeLimit:   cfg.TimeLimit,
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: small dataset: %w", err)
@@ -132,6 +142,14 @@ func meanError(recs []*qpp.QueryRecord, pred []float64) float64 {
 // stratifiedFolds builds template-stratified CV folds over records.
 func stratifiedFolds(recs []*qpp.QueryRecord, k int, seed int64) []mlearn.Fold {
 	return mlearn.StratifiedKFold(workload.TemplateLabels(recs), k, seed)
+}
+
+// forEachPar fans n independent sub-experiments (cross-validation folds,
+// held-out templates, strategies) across the configured worker pool.
+// Callers write results only to index-addressed slots, which keeps every
+// figure row bit-identical across worker counts.
+func (e *Env) forEachPar(n int, fn func(i int) error) error {
+	return parallel.ForEach(n, e.Cfg.Parallelism, fn)
 }
 
 func subset(recs []*qpp.QueryRecord, idx []int) []*qpp.QueryRecord {

@@ -44,14 +44,19 @@ func Fig5(env *Env) (*Fig5Result, error) {
 
 	folds := stratifiedFolds(recs, env.Cfg.Folds, env.Cfg.Seed)
 	pred := make([]float64, len(recs))
-	for _, f := range folds {
+	// Folds train concurrently; each writes only its own test slots.
+	if err := env.forEachPar(len(folds), func(fi int) error {
+		f := folds[fi]
 		cb, err := qpp.TrainCostBaseline(subset(recs, f.Train))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, i := range f.Test {
 			pred[i] = cb.Predict(recs[i])
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	act := make([]float64, len(recs))
 	for i, r := range recs {

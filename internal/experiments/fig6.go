@@ -100,38 +100,48 @@ func bestBandMean(errs []TemplateError, band float64) (float64, int) {
 	return sum / float64(n), n
 }
 
-// crossValPlanLevel produces out-of-fold plan-level predictions.
+// crossValPlanLevel produces out-of-fold plan-level predictions, training
+// the folds concurrently (each fold writes only its own test slots).
 func crossValPlanLevel(env *Env, recs []*qpp.QueryRecord) ([]float64, error) {
 	folds := stratifiedFolds(recs, env.Cfg.Folds, env.Cfg.Seed)
 	pred := make([]float64, len(recs))
-	for _, f := range folds {
+	if err := env.forEachPar(len(folds), func(fi int) error {
+		f := folds[fi]
 		m, err := qpp.TrainPlanLevel(subset(recs, f.Train), qpp.FeatEstimates, qpp.DefaultPlanModelConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, i := range f.Test {
 			pred[i] = m.Predict(recs[i])
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return pred, nil
 }
 
-// crossValOperatorLevel produces out-of-fold operator-level predictions.
+// crossValOperatorLevel produces out-of-fold operator-level predictions,
+// training the folds concurrently.
 func crossValOperatorLevel(env *Env, recs []*qpp.QueryRecord) ([]float64, error) {
 	folds := stratifiedFolds(recs, env.Cfg.Folds, env.Cfg.Seed)
 	pred := make([]float64, len(recs))
-	for _, f := range folds {
+	if err := env.forEachPar(len(folds), func(fi int) error {
+		f := folds[fi]
 		m, err := qpp.TrainOperatorModels(subset(recs, f.Train), qpp.FeatEstimates, qpp.OpModelConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, i := range f.Test {
 			p, err := m.Predict(recs[i], qpp.ChildTimesPredicted)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			pred[i] = p
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return pred, nil
 }

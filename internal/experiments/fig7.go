@@ -40,18 +40,22 @@ func Fig7(env *Env) (*Fig7Result, error) {
 	}
 	out := &Fig7Result{}
 	for _, c := range combos {
-		// Plan-level.
+		// Plan-level; folds train concurrently.
 		planPred := make([]float64, len(recs))
-		for _, f := range folds {
+		if err := env.forEachPar(len(folds), func(fi int) error {
+			f := folds[fi]
 			m, err := qpp.TrainPlanLevel(subset(recs, f.Train), c.train, qpp.DefaultPlanModelConfig())
 			if err != nil {
-				return nil, err
+				return err
 			}
 			// The predictor extracts features in its training mode; override
 			// with the test-side mode.
 			for _, i := range f.Test {
 				planPred[i] = m.Model.Predict(qpp.PlanFeatures(recs[i].Root, c.test))
 			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		// Operator-level. Child-time features are observed actuals in the
 		// actual/actual oracle and composed predictions otherwise.
@@ -60,19 +64,23 @@ func Fig7(env *Env) (*Fig7Result, error) {
 			src = qpp.ChildTimesActual
 		}
 		opPred := make([]float64, len(opRecs))
-		for _, f := range opFolds {
+		if err := env.forEachPar(len(opFolds), func(fi int) error {
+			f := opFolds[fi]
 			m, err := qpp.TrainOperatorModels(subset(opRecs, f.Train), c.train, qpp.OpModelConfig())
 			if err != nil {
-				return nil, err
+				return err
 			}
 			m.Mode = c.test
 			for _, i := range f.Test {
 				p, err := m.Predict(opRecs[i], src)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				opPred[i] = p
 			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		out.Combos = append(out.Combos, FeatureCombo{
 			Train:   c.name[0],

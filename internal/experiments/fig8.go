@@ -31,15 +31,20 @@ func Fig8(env *Env) (*Fig8Result, error) {
 	train := subset(recs, folds[0].Train)
 	test := subset(recs, folds[0].Test)
 
-	out := &Fig8Result{Curves: map[string][]IterPoint{}, ModelsAccepted: map[string]int{}}
-	for _, s := range []qpp.Strategy{qpp.ErrorBased, qpp.SizeBased, qpp.FrequencyBased} {
+	// The three strategies are independent: train them concurrently and
+	// assemble the result maps serially afterwards, in strategy order.
+	strategies := []qpp.Strategy{qpp.ErrorBased, qpp.SizeBased, qpp.FrequencyBased}
+	curves := make([][]IterPoint, len(strategies))
+	accepted := make([]int, len(strategies))
+	if err := env.forEachPar(len(strategies), func(si int) error {
+		s := strategies[si]
 		cfg := qpp.DefaultHybridConfig(s)
 		cfg.MaxIters = 30
 		cfg.TargetError = 0 // run all iterations so the curves are comparable
 		cfg.EvalRecs = test
 		h, stats, err := qpp.TrainHybrid(train, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Point 0: operator-level only.
 		base := &qpp.HybridPredictor{Ops: h.Ops, Plans: map[string]*qpp.SubplanModels{}, Mode: cfg.Mode}
@@ -56,8 +61,16 @@ func Fig8(env *Env) (*Fig8Result, error) {
 		for _, st := range stats {
 			curve = append(curve, IterPoint{Iter: st.Iter, Error: st.TestError})
 		}
-		out.Curves[s.String()] = curve
-		out.ModelsAccepted[s.String()] = h.NumPlanModels()
+		curves[si] = curve
+		accepted[si] = h.NumPlanModels()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := &Fig8Result{Curves: map[string][]IterPoint{}, ModelsAccepted: map[string]int{}}
+	for si, s := range strategies {
+		out.Curves[s.String()] = curves[si]
+		out.ModelsAccepted[s.String()] = accepted[si]
 	}
 	return out, nil
 }

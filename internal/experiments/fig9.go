@@ -30,18 +30,22 @@ type Fig9Result struct {
 // dynamic-workload templates.
 func Fig9(env *Env) (*Fig9Result, error) {
 	recs := workload.FilterTemplates(env.Large.Records, tpch.DynamicWorkloadTemplates)
-	out := &Fig9Result{}
-	for _, heldOut := range tpch.DynamicWorkloadTemplates {
+	// Each held-out template trains its methods independently; rows are
+	// computed concurrently into index-addressed slots and assembled in
+	// template order below.
+	rows := make([]*DynamicRow, len(tpch.DynamicWorkloadTemplates))
+	err := env.forEachPar(len(tpch.DynamicWorkloadTemplates), func(ti int) error {
+		heldOut := tpch.DynamicWorkloadTemplates[ti]
 		train, test := workload.SplitLeaveTemplateOut(recs, heldOut)
 		if len(test) == 0 || len(train) == 0 {
-			continue
+			return nil
 		}
 		row := DynamicRow{Template: heldOut}
 
 		// Plan-level.
 		pl, err := qpp.TrainPlanLevel(train, qpp.FeatEstimates, qpp.DefaultPlanModelConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.PlanLevel = evalOn(test, func(r *qpp.QueryRecord) (float64, error) {
 			return pl.Predict(r), nil
@@ -50,7 +54,7 @@ func Fig9(env *Env) (*Fig9Result, error) {
 		// Operator-level.
 		ops, err := qpp.TrainOperatorModels(train, qpp.FeatEstimates, qpp.OpModelConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.OpLevel = evalOn(test, func(r *qpp.QueryRecord) (float64, error) {
 			return ops.Predict(r, qpp.ChildTimesPredicted)
@@ -61,7 +65,7 @@ func Fig9(env *Env) (*Fig9Result, error) {
 			cfg := qpp.DefaultHybridConfig(s)
 			h, _, err := qpp.TrainHybrid(train, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			e := evalOn(test, func(r *qpp.QueryRecord) (float64, error) {
 				return h.Predict(r)
@@ -83,7 +87,17 @@ func Fig9(env *Env) (*Fig9Result, error) {
 			return p, err
 		})
 
-		out.Rows = append(out.Rows, row)
+		rows[ti] = &row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig9Result{}
+	for _, row := range rows {
+		if row != nil {
+			out.Rows = append(out.Rows, *row)
+		}
 	}
 	n := float64(len(out.Rows))
 	for _, r := range out.Rows {

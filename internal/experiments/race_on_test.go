@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets heavyweight determinism tests shrink their workload
+// when the race detector (which slows execution several-fold) is on; the
+// determinism contract itself is scale-independent.
+const raceEnabled = true

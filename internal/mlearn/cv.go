@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"qpp/internal/parallel"
 )
 
 // Fold describes one cross-validation split by sample index.
@@ -13,7 +15,13 @@ type Fold struct {
 }
 
 // KFold returns k folds over n samples, shuffled with the given seed.
+// k is clamped to [2, n]; with fewer than two samples cross-validation is
+// impossible, so a single degenerate fold (train = test = everything) is
+// returned rather than a fold with an empty, untrainable training side.
 func KFold(n, k int, seed int64) []Fold {
+	if n < 2 {
+		return degenerateFolds(n)
+	}
 	if k < 2 {
 		k = 2
 	}
@@ -33,10 +41,13 @@ func KFold(n, k int, seed int64) []Fold {
 // keeps roughly equal numbers of queries from each TPC-H template in
 // every cross-validation part.
 func StratifiedKFold(labels []string, k int, seed int64) []Fold {
+	n := len(labels)
+	if n < 2 {
+		return degenerateFolds(n)
+	}
 	if k < 2 {
 		k = 2
 	}
-	n := len(labels)
 	if k > n {
 		k = n
 	}
@@ -61,6 +72,19 @@ func StratifiedKFold(labels []string, k int, seed int64) []Fold {
 		}
 	}
 	return foldsFromParts(parts)
+}
+
+// degenerateFolds covers n < 2: no split has a non-empty train and test
+// side, so both sides see all samples (an empty input yields no folds).
+func degenerateFolds(n int) []Fold {
+	if n <= 0 {
+		return nil
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return []Fold{{Train: all, Test: append([]int(nil), all...)}}
 }
 
 func foldsFromParts(parts [][]int) []Fold {
@@ -93,18 +117,27 @@ func Subset(x *Matrix, y []float64, idx []int) (*Matrix, []float64) {
 }
 
 // CrossValPredict trains a fresh model per fold and returns out-of-fold
-// predictions aligned with the input rows.
+// predictions aligned with the input rows. Folds train concurrently
+// across GOMAXPROCS workers: each fold owns its model and writes only its
+// own test slots, while x and y are shared read-only, so the result is
+// bit-identical to a serial pass. The factory must return a fresh model
+// per call and must not capture shared mutable state.
 func CrossValPredict(factory ModelFactory, x *Matrix, y []float64, folds []Fold) ([]float64, error) {
 	out := make([]float64, len(y))
-	for fi, f := range folds {
+	err := parallel.ForEach(len(folds), 0, func(fi int) error {
+		f := folds[fi]
 		xt, yt := Subset(x, y, f.Train)
 		m := factory()
 		if err := m.Fit(xt, yt); err != nil {
-			return nil, fmt.Errorf("mlearn: cv fold %d: %w", fi, err)
+			return fmt.Errorf("mlearn: cv fold %d: %w", fi, err)
 		}
 		for _, r := range f.Test {
 			out[r] = m.Predict(x.Row(r))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

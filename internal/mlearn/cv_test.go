@@ -83,6 +83,143 @@ func TestStratifiedKFoldSmallClasses(t *testing.T) {
 	}
 }
 
+// checkFoldInvariants asserts the fold contract for n >= 2: test sets
+// partition [0, n) (every index in exactly one test fold), train is the
+// exact complement of test in each fold, and no side is empty.
+func checkFoldInvariants(t *testing.T, folds []Fold, n int) {
+	t.Helper()
+	testCount := map[int]int{}
+	for fi, f := range folds {
+		if len(f.Test) == 0 {
+			t.Fatalf("fold %d: empty test side", fi)
+		}
+		if len(f.Train) == 0 {
+			t.Fatalf("fold %d: empty train side", fi)
+		}
+		inTest := map[int]bool{}
+		for _, i := range f.Test {
+			testCount[i]++
+			inTest[i] = true
+		}
+		if len(f.Train)+len(f.Test) != n {
+			t.Fatalf("fold %d: train %d + test %d != %d", fi, len(f.Train), len(f.Test), n)
+		}
+		for _, i := range f.Train {
+			if inTest[i] {
+				t.Fatalf("fold %d: index %d in both train and test", fi, i)
+			}
+		}
+	}
+	if len(testCount) != n {
+		t.Fatalf("test folds cover %d of %d indices", len(testCount), n)
+	}
+	for i, c := range testCount {
+		if c != 1 {
+			t.Fatalf("index %d appears in %d test folds", i, c)
+		}
+	}
+}
+
+func TestStratifiedKFoldMoreFoldsThanSamplesPerLabel(t *testing.T) {
+	// 4 folds but only 2 samples per label: stratification cannot put
+	// every label in every fold, but the partition contract must hold.
+	labels := []string{"a", "a", "b", "b", "c", "c"}
+	folds := StratifiedKFold(labels, 4, 7)
+	if len(folds) != 4 {
+		t.Fatalf("folds %d want 4", len(folds))
+	}
+	checkFoldInvariants(t, folds, len(labels))
+}
+
+func TestStratifiedKFoldSingleLabel(t *testing.T) {
+	labels := []string{"x", "x", "x", "x", "x", "x"}
+	folds := StratifiedKFold(labels, 3, 5)
+	if len(folds) != 3 {
+		t.Fatalf("folds %d want 3", len(folds))
+	}
+	checkFoldInvariants(t, folds, len(labels))
+}
+
+func TestFoldsMoreFoldsThanSamples(t *testing.T) {
+	// k > n clamps to n one-test-sample folds (leave-one-out).
+	folds := StratifiedKFold([]string{"a", "b", "a"}, 10, 3)
+	if len(folds) != 3 {
+		t.Fatalf("folds %d want 3", len(folds))
+	}
+	checkFoldInvariants(t, folds, 3)
+	folds = KFold(3, 10, 3)
+	if len(folds) != 3 {
+		t.Fatalf("kfold folds %d want 3", len(folds))
+	}
+	checkFoldInvariants(t, folds, 3)
+}
+
+func TestFoldsDegenerateInputs(t *testing.T) {
+	// One sample: no true split exists; the degenerate fold must still
+	// have non-empty, trainable sides (this was an empty-train-fold bug).
+	for _, folds := range [][]Fold{
+		KFold(1, 5, 1),
+		StratifiedKFold([]string{"only"}, 5, 1),
+	} {
+		if len(folds) != 1 {
+			t.Fatalf("folds %d want 1", len(folds))
+		}
+		if len(folds[0].Train) != 1 || len(folds[0].Test) != 1 {
+			t.Fatalf("degenerate fold sides train=%v test=%v", folds[0].Train, folds[0].Test)
+		}
+	}
+	if folds := KFold(0, 5, 1); len(folds) != 0 {
+		t.Fatalf("n=0 folds %d want 0", len(folds))
+	}
+	if folds := StratifiedKFold(nil, 5, 1); len(folds) != 0 {
+		t.Fatalf("empty labels folds %d want 0", len(folds))
+	}
+}
+
+func TestStratifiedKFoldPartitionProperty(t *testing.T) {
+	// Property: for any label multiset and any k, every index lands in
+	// exactly one test fold and no fold has an empty side.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		nLabels := 1 + rng.Intn(8)
+		labels := make([]string, n)
+		for i := range labels {
+			labels[i] = string(rune('a' + rng.Intn(nLabels)))
+		}
+		k := 2 + rng.Intn(9)
+		folds := StratifiedKFold(labels, k, seed)
+		want := k
+		if want > n {
+			want = n
+		}
+		if len(folds) != want {
+			return false
+		}
+		seen := map[int]int{}
+		for _, f := range folds {
+			if len(f.Test) == 0 || len(f.Train) == 0 {
+				return false
+			}
+			for _, i := range f.Test {
+				seen[i]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCrossValPredictPerfectModel(t *testing.T) {
 	n := 40
 	x := NewMatrix(n, 1)

@@ -1,0 +1,76 @@
+// Package parallel is the worker-pool substrate behind the repo's
+// parallel execution layer: a deterministic fan-out primitive used by
+// workload building, cross-validation, and the figure drivers.
+//
+// Determinism contract: ForEach(n, w, fn) calls fn exactly once for every
+// index in [0, n), and callers assign all outputs to index-addressed
+// slots. Because nothing an fn computes may depend on worker identity or
+// completion order, the assembled outputs are bit-identical for every
+// worker count, including the serial fast path (w <= 1). On error the
+// lowest-index error is returned, matching what a serial loop that
+// continued past failures would report first.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers resolves a worker-count setting: values <= 0 mean
+// GOMAXPROCS (one worker per schedulable CPU), anything else is taken
+// as-is.
+func DefaultWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines (workers <= 0 selects GOMAXPROCS). Indexes are handed out
+// atomically; every fn runs exactly once even when some fail. It returns
+// the error with the lowest index, or nil.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = DefaultWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Serial fast path: identical call order to the pre-parallel code,
+		// but the same keep-going error semantics as the pool below.
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

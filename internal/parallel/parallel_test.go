@@ -1,0 +1,77 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		n := 57
+		hits := make([]int32, n)
+		err := ForEach(n, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(10, workers, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 3" {
+			t.Fatalf("workers=%d: got %v, want lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestForEachKeepsGoingAfterError(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(20, 4, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 20 {
+		t.Fatalf("ran %d of 20 after error", ran.Load())
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if DefaultWorkers(0) < 1 {
+		t.Fatal("GOMAXPROCS default must be >= 1")
+	}
+	if DefaultWorkers(-1) < 1 {
+		t.Fatal("negative must resolve to >= 1")
+	}
+	if DefaultWorkers(5) != 5 {
+		t.Fatal("positive passes through")
+	}
+}

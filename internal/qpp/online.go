@@ -3,6 +3,7 @@ package qpp
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"qpp/internal/mlearn"
 	"qpp/internal/plan"
@@ -28,14 +29,33 @@ type OnlineConfig struct {
 	Cache *OnlineCache
 }
 
-// OnlineCache memoizes online model-building decisions by signature.
+// OnlineCache memoizes online model-building decisions by signature. It
+// is safe for concurrent use, so one cache can serve predictions from
+// many goroutines; decisions are deterministic functions of the training
+// index, so concurrent writers always store the same value for a key.
 type OnlineCache struct {
+	mu        sync.Mutex
 	decisions map[string]*SubplanModels // nil value = rejected
 }
 
 // NewOnlineCache returns an empty cache.
 func NewOnlineCache() *OnlineCache {
 	return &OnlineCache{decisions: map[string]*SubplanModels{}}
+}
+
+// get returns the cached decision for sig and whether one exists.
+func (c *OnlineCache) get(sig string) (*SubplanModels, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.decisions[sig]
+	return m, ok
+}
+
+// put records the decision for sig (nil = rejected).
+func (c *OnlineCache) put(sig string, m *SubplanModels) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.decisions[sig] = m
 }
 
 // DefaultOnlineConfig returns the settings used in the experiments.
@@ -87,7 +107,7 @@ func BuildOnlineModels(idx *SubplanIndex, ops *OperatorLevelPredictor, queryRoot
 
 	for _, c := range cands {
 		if cfg.Cache != nil {
-			if m, seen := cfg.Cache.decisions[c.sig]; seen {
+			if m, seen := cfg.Cache.get(c.sig); seen {
 				if m != nil {
 					h.Plans[c.sig] = m
 				}
@@ -136,20 +156,20 @@ func BuildOnlineModels(idx *SubplanIndex, ops *OperatorLevelPredictor, queryRoot
 		}
 		if err != nil || cvErr >= opErr {
 			if cfg.Cache != nil {
-				cfg.Cache.decisions[c.sig] = nil
+				cfg.Cache.put(c.sig, nil)
 			}
 			continue
 		}
 		models, err := trainSubplanModels(occs, cfg.Mode, cfg.PlanCfg)
 		if err != nil {
 			if cfg.Cache != nil {
-				cfg.Cache.decisions[c.sig] = nil
+				cfg.Cache.put(c.sig, nil)
 			}
 			continue
 		}
 		h.Plans[c.sig] = models
 		if cfg.Cache != nil {
-			cfg.Cache.decisions[c.sig] = models
+			cfg.Cache.put(c.sig, models)
 		}
 	}
 	return h

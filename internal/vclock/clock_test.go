@@ -3,6 +3,7 @@ package vclock
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -177,6 +178,169 @@ func TestClockMonotonicProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBufferPoolBoundary(t *testing.T) {
+	// Table-driven eviction behavior exactly at the BufferPoolPages
+	// capacity boundary.
+	cases := []struct {
+		name     string
+		capacity int
+		// access is the page sequence; wantHit[i] is whether access i
+		// must be a cache hit.
+		access  []int64
+		wantHit []bool
+	}{
+		{
+			name:     "fill to capacity, everything stays cached",
+			capacity: 4,
+			access:   []int64{0, 1, 2, 3, 0, 1, 2, 3},
+			wantHit:  []bool{false, false, false, false, true, true, true, true},
+		},
+		{
+			name:     "one past capacity evicts exactly the LRU page",
+			capacity: 4,
+			// After 0..3, touching 0 makes 1 the LRU; page 4 evicts 1,
+			// then re-reading 1 evicts 2 — but recently-touched 0 stays.
+			access:  []int64{0, 1, 2, 3, 0, 4, 1, 0},
+			wantHit: []bool{false, false, false, false, true, false, false, true},
+		},
+		{
+			name:     "capacity one degenerates to most-recent page only",
+			capacity: 1,
+			access:   []int64{0, 0, 1, 1, 0},
+			wantHit:  []bool{false, true, false, true, false},
+		},
+		{
+			name:     "capacity below one is clamped to one",
+			capacity: 0,
+			access:   []int64{0, 0, 1, 0},
+			wantHit:  []bool{false, true, false, false},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := noNoise()
+			p.BufferPoolPages = tc.capacity
+			c := NewClock(p, 1)
+			for i, page := range tc.access {
+				hit := c.ReadPage("t", page, true)
+				if hit != tc.wantHit[i] {
+					t.Fatalf("access %d (page %d): hit=%v want %v", i, page, hit, tc.wantHit[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSpillAccountingEdgeCases(t *testing.T) {
+	// WorkMemPages = 0 means every operator spills; the clock must pass
+	// the zero budget through and charge spill I/O exactly.
+	cases := []struct {
+		name        string
+		workMem     int
+		spillPages  float64
+		wantWorkMem int
+		wantTime    float64 // in units of SeqPageRead
+	}{
+		{"zero work_mem, zero pages", 0, 0, 0, 0},
+		{"zero work_mem, small spill", 0, 10, 0, 20},
+		{"normal work_mem, write+read doubling", 256, 100, 256, 200},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := noNoise()
+			p.WorkMemPages = tc.workMem
+			c := NewClock(p, 1)
+			if got := c.WorkMemPages(); got != tc.wantWorkMem {
+				t.Fatalf("WorkMemPages() = %d want %d", got, tc.wantWorkMem)
+			}
+			c.SpillPages(tc.spillPages)
+			want := tc.wantTime * p.SeqPageRead
+			if math.Abs(c.Now()-want) > 1e-15 {
+				t.Fatalf("spill time %v want %v", c.Now(), want)
+			}
+			if math.Abs(c.IOTime-want) > 1e-15 {
+				t.Fatalf("IOTime %v want %v", c.IOTime, want)
+			}
+		})
+	}
+}
+
+func TestZeroNoiseSigmaIsExactlyDeterministic(t *testing.T) {
+	// With NoiseSigma = 0 the seed must not matter at all: any two seeds
+	// produce bit-identical times (scales are pinned to 1, the noise rng
+	// is never consulted).
+	p := noNoise()
+	run := func(seed int64) (now, io, cpu float64) {
+		c := NewClock(p, seed)
+		for i := int64(0); i < 64; i++ {
+			c.ReadPage("t", i%8, i%3 == 0)
+		}
+		c.CPUTuples(1000)
+		c.CPUOps(500, 50)
+		c.HashOps(200)
+		c.Barrier()
+		c.SortCompares(300)
+		c.SpillPages(5)
+		return c.Now(), c.IOTime, c.CPUTime
+	}
+	n1, io1, cpu1 := run(1)
+	for _, seed := range []int64{2, 42, -7, math.MaxInt64} {
+		n2, io2, cpu2 := run(seed)
+		if n1 != n2 || io1 != io2 || cpu1 != cpu2 {
+			t.Fatalf("seed %d: (%v %v %v) != (%v %v %v)", seed, n2, io2, cpu2, n1, io1, cpu1)
+		}
+	}
+}
+
+func TestIndependentClocksConcurrently(t *testing.T) {
+	// The parallel workload layer gives every in-flight query a private
+	// clock. Concurrent use of independent clocks must be race-free (the
+	// -race CI run checks this) and produce exactly the serial result.
+	p := DefaultProfile()
+	workOn := func(c *Clock, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				c.ReadPage("t", int64(rng.Intn(64)), rng.Intn(2) == 0)
+			case 1:
+				c.CPUTuples(float64(rng.Intn(100)))
+			case 2:
+				c.CPUOps(float64(rng.Intn(100)), float64(rng.Intn(10)))
+			case 3:
+				c.SortCompares(float64(rng.Intn(100)))
+			case 4:
+				c.Barrier()
+			}
+		}
+	}
+	const n = 8
+	// Serial reference.
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c := NewClock(p, int64(i))
+		workOn(c, int64(i*13+1))
+		want[i] = c.Now()
+	}
+	got := make([]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewClock(p, int64(i))
+			workOn(c, int64(i*13+1))
+			got[i] = c.Now()
+		}(i)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("clock %d: concurrent %v != serial %v", i, got[i], want[i])
+		}
 	}
 }
 

@@ -1,8 +1,15 @@
 // Package workload assembles training and test data for the QPP layer: it
 // generates a TPC-H database and query workload, plans and executes every
-// query on the instrumented engine under the paper's protocol (sequential
-// execution, cold buffer cache per query, a virtual-time execution cap),
-// and packages the instrumented plans and observed latencies as records.
+// query on the instrumented engine under the paper's protocol (cold buffer
+// cache per query, a virtual-time execution cap), and packages the
+// instrumented plans and observed latencies as records.
+//
+// Queries are embarrassingly parallel under the paper's cold-start
+// protocol — each owns a private virtual clock and buffer cache, and the
+// database is read-only after generation — so Build fans them out across
+// a worker pool. Per-query noise seeds are derived from the query's index
+// in the workload (never from worker identity or completion order), which
+// makes the output bit-identical for every worker count.
 package workload
 
 import (
@@ -11,6 +18,7 @@ import (
 
 	"qpp/internal/exec"
 	"qpp/internal/opt"
+	"qpp/internal/parallel"
 	"qpp/internal/qpp"
 	"qpp/internal/storage"
 	"qpp/internal/tpch"
@@ -33,6 +41,10 @@ type Config struct {
 	TimeLimit float64
 	// Profile is the virtual device profile (zero value: DefaultProfile).
 	Profile *vclock.DeviceProfile
+	// Parallelism is the number of worker goroutines executing queries
+	// (<= 0: GOMAXPROCS, 1: serial). Results are bit-identical for every
+	// value: each query's seed depends only on its workload index.
+	Parallelism int
 }
 
 // Dataset is an executed workload: the database plus one record per query
@@ -72,17 +84,40 @@ func Build(cfg Config) (*Dataset, error) {
 	if cfg.Profile != nil {
 		prof = *cfg.Profile
 	}
+	// Noise seeds are drawn serially, indexed by workload position, before
+	// any query runs: seed i is the i-th draw from the noise stream no
+	// matter how many workers execute the queries or in what order they
+	// finish. This is the determinism anchor for the whole parallel layer.
 	noiseRng := rand.New(rand.NewSource(cfg.Seed + 2))
-	for _, q := range queries {
-		rec, err := RunQuery(db, q, prof, noiseRng.Int63(), cfg.TimeLimit)
+	seeds := make([]int64, len(queries))
+	for i := range seeds {
+		seeds[i] = noiseRng.Int63()
+	}
+	recs := make([]*qpp.QueryRecord, len(queries))
+	timedOut := make([]bool, len(queries))
+	err = parallel.ForEach(len(queries), cfg.Parallelism, func(i int) error {
+		rec, err := RunQuery(db, queries[i], prof, seeds[i], cfg.TimeLimit)
 		if err == exec.ErrTimeout {
+			timedOut[i] = true
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("workload: template %d: %w", queries[i].Template, err)
+		}
+		recs[i] = rec
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Assemble in workload order so Records and TimedOut match the serial
+	// protocol exactly.
+	for i, q := range queries {
+		if timedOut[i] {
 			ds.TimedOut[q.Template]++
 			continue
 		}
-		if err != nil {
-			return nil, fmt.Errorf("workload: template %d: %w", q.Template, err)
-		}
-		ds.Records = append(ds.Records, rec)
+		ds.Records = append(ds.Records, recs[i])
 	}
 	return ds, nil
 }

@@ -151,6 +151,11 @@ type WorkloadConfig struct {
 	// TimeLimit caps each query's virtual execution time (0: none),
 	// mirroring the paper's one-hour cutoff.
 	TimeLimit float64
+	// Parallelism is how many worker goroutines execute queries (<= 0:
+	// GOMAXPROCS, 1: serial). The workload is bit-identical for every
+	// value — per-query seeds derive from the query's position, never
+	// from scheduling.
+	Parallelism int
 }
 
 // BuildWorkload generates a TPC-H database, then runs a qgen-style
@@ -162,6 +167,7 @@ func BuildWorkload(cfg WorkloadConfig) (*Workload, error) {
 		PerTemplate: cfg.PerTemplate,
 		Seed:        cfg.Seed,
 		TimeLimit:   cfg.TimeLimit,
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err

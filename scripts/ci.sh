@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# CI gate: static analysis plus the full test suite under the race
+# detector. The parallel execution layer (internal/parallel, workload
+# builds, fold training, figure drivers) is only trusted because this
+# passes clean — run it before merging anything that touches
+# concurrency.
+#
+# Heavy determinism tests automatically shrink their workload under
+# -race (see internal/experiments/race_on_test.go); pass any extra go
+# test flags through, e.g.:
+#
+#	scripts/ci.sh -run TestParallelDeterminism
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./... $*"
+go test -race ./... "$@"
+
+echo "==> CI OK"
