@@ -1,0 +1,145 @@
+// Command qpplint runs the repository's static-analysis rules
+// (internal/analysis) over the module and prints findings as
+//
+//	file:line: [rule] message
+//
+// exiting non-zero when anything is found. It is built on the standard
+// library's go/parser + go/types only, so it needs no tool dependencies
+// and runs anywhere the repo builds.
+//
+// Usage:
+//
+//	qpplint            # lint the whole module (same as ./...)
+//	qpplint ./...      # ditto
+//	qpplint ./internal/qpp ./internal/mlearn
+//	qpplint -list      # describe the registered rules
+//
+// Suppress an individual finding with a `//qpplint:ignore <rule>`
+// comment on the offending line or the line above it; the comment should
+// say why the invariant does not apply.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"qpp/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the registered rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range analysis.Rules() {
+			fmt.Printf("%-16s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	selected := selectPackages(pkgs, patterns, root)
+	if len(selected) == 0 {
+		fatal(fmt.Errorf("no packages match %v", patterns))
+	}
+
+	hardErr := false
+	for _, pkg := range selected {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "qpplint: %s: %v\n", pkg.Path, terr)
+			hardErr = true
+		}
+	}
+	if hardErr {
+		os.Exit(2)
+	}
+
+	findings := analysis.CheckAll(selected)
+	for _, f := range findings {
+		rel := f
+		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "qpplint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qpplint: %v\n", err)
+	os.Exit(2)
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// selectPackages filters loaded packages by go-style patterns: `./...`,
+// `./internal/qpp`, a bare import path, or a `path/...` wildcard.
+// External test packages follow their base package's pattern match.
+func selectPackages(pkgs []*analysis.Package, patterns []string, root string) []*analysis.Package {
+	var out []*analysis.Package
+	for _, pkg := range pkgs {
+		rel, err := filepath.Rel(root, pkg.Dir)
+		if err != nil {
+			continue
+		}
+		rel = filepath.ToSlash(rel)
+		base := strings.TrimSuffix(pkg.Path, ".test")
+		for _, pat := range patterns {
+			if matchPattern(pat, rel, base) {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func matchPattern(pat, rel, importPath string) bool {
+	pat = strings.TrimPrefix(pat, "./")
+	if pat == "..." {
+		return true
+	}
+	if pat == "." || pat == "" {
+		return rel == "."
+	}
+	if wild, ok := strings.CutSuffix(pat, "/..."); ok {
+		return rel == wild || strings.HasPrefix(rel, wild+"/") ||
+			importPath == wild || strings.HasPrefix(importPath, wild+"/")
+	}
+	return rel == pat || importPath == pat
+}

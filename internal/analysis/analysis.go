@@ -1,0 +1,200 @@
+// Package analysis is qpplint: a standard-library-only static-analysis
+// engine that enforces the repository's determinism, concurrency and
+// numeric invariants at review time instead of at runtime.
+//
+// The replay guarantee from the parallel-execution work — a fixed seed
+// yields bit-identical figures at every worker count — is otherwise
+// protected by a single regression test; one stray wall-clock read or
+// unordered map iteration in a hot path breaks it silently until that
+// test happens to catch it. Each rule here turns one such invariant into
+// a compile-time check over the type-checked AST (go/parser + go/types,
+// nothing outside the standard library).
+//
+// Findings print as `file:line: [rule] message`. A finding can be
+// suppressed with a `//qpplint:ignore <rule>` comment on the offending
+// line or on the line directly above it; the comment should say why.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// A Finding is one rule violation at one source position.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the canonical `file:line: [rule] message` form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+}
+
+// A Rule inspects one type-checked package and reports findings through
+// the pass.
+type Rule struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+var registry []Rule
+
+// register adds a rule at init time. Rule files call it from init().
+func register(r Rule) { registry = append(registry, r) }
+
+// Rules returns every registered rule, sorted by name.
+func Rules() []Rule {
+	out := append([]Rule{}, registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Pass carries one package through one rule.
+type Pass struct {
+	Pkg      *Package
+	rule     string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos unless a suppression comment covers
+// it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Pos:     position,
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Check runs the given rules (all registered rules when nil) over one
+// package and returns the unsuppressed findings sorted by position.
+func Check(pkg *Package, rules []Rule) []Finding {
+	if rules == nil {
+		rules = Rules()
+	}
+	var findings []Finding
+	for _, r := range rules {
+		pass := &Pass{Pkg: pkg, rule: r.Name, findings: &findings}
+		r.Run(pass)
+	}
+	findings = filterSuppressed(pkg, findings)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}
+
+// CheckAll runs all registered rules over every package.
+func CheckAll(pkgs []*Package) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, Check(pkg, nil)...)
+	}
+	return findings
+}
+
+var ignoreRe = regexp.MustCompile(`//\s*qpplint:ignore\s+([\w,* ]+)`)
+
+// suppressionIndex maps file -> line -> set of suppressed rule names
+// ("*" suppresses every rule).
+type suppressionIndex map[string]map[int]map[string]bool
+
+func buildSuppressions(pkg *Package) suppressionIndex {
+	idx := suppressionIndex{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					idx[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				for _, name := range strings.FieldsFunc(m[1], func(r rune) bool {
+					return r == ',' || r == ' '
+				}) {
+					set[strings.TrimSpace(name)] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a `//qpplint:ignore` comment on the
+// finding's line or the line above covers its rule.
+func (idx suppressionIndex) suppressed(f Finding) bool {
+	lines, ok := idx[f.Pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if set, ok := lines[line]; ok && (set[f.Rule] || set["*"]) {
+			return true
+		}
+	}
+	return false
+}
+
+func filterSuppressed(pkg *Package, findings []Finding) []Finding {
+	if len(findings) == 0 {
+		return findings
+	}
+	idx := buildSuppressions(pkg)
+	out := findings[:0]
+	for _, f := range findings {
+		if !idx.suppressed(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain
+// (`a` in `a.b[i].c`), or nil when the chain does not start at an
+// identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	register(Rule{
+		Name: "errdrop",
+		Doc: "forbid assigning an error to the blank identifier outside " +
+			"test files — handle it, return it, or suppress with a comment " +
+			"saying why the error is impossible or irrelevant",
+		Run: runErrDrop,
+	})
+}
+
+func runErrDrop(pass *Pass) {
+	info := pass.Pkg.Info
+	errType := types.Universe.Lookup("error").Type()
+	isErr := func(t types.Type) bool {
+		return t != nil && types.AssignableTo(t, errType) && !types.Identical(t, types.Typ[types.UntypedNil])
+	}
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != "_" {
+					continue
+				}
+				var t types.Type
+				switch {
+				case len(as.Rhs) == len(as.Lhs):
+					t = info.TypeOf(as.Rhs[i])
+				case len(as.Rhs) == 1:
+					// Multi-value call: pick our component of the tuple.
+					if tup, ok := info.TypeOf(as.Rhs[0]).(*types.Tuple); ok && i < tup.Len() {
+						t = tup.At(i).Type()
+					}
+				}
+				if isErr(t) {
+					pass.Reportf(id.Pos(),
+						"error assigned to _ silently drops a failure; handle it or suppress with the reason it cannot occur")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+func init() {
+	register(Rule{
+		Name: "floateq",
+		Doc: "forbid ==/!= between floating-point operands outside test " +
+			"files; exact comparison against the constant zero and the " +
+			"`x != x` NaN idiom stay legal — everything else needs an " +
+			"epsilon or a suppression explaining why exactness is intended",
+		Run: runFloatEq,
+	})
+}
+
+func runFloatEq(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(info, be.X) && !isFloatOperand(info, be.Y) {
+				return true
+			}
+			// Comparison against an exact zero constant (division guards,
+			// "unset" sentinels) is well-defined in IEEE-754.
+			if isZeroConst(info, be.X) || isZeroConst(info, be.Y) {
+				return true
+			}
+			// `x != x` / `x == x` is the NaN test.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"floating-point %s comparison is exact and usually wrong outside golden tests; compare with an epsilon or restructure (e.g. a two-sided < ordering)",
+				be.Op)
+			return true
+		})
+	}
+}
+
+func isFloatOperand(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+func init() {
+	register(Rule{
+		Name: "guardedfield",
+		Doc: "struct fields annotated `// guarded by <mu>` may only be " +
+			"accessed in functions that lock <mu> on the same receiver " +
+			"expression (flow-insensitive: the Lock/RLock call must appear " +
+			"somewhere in the function body)",
+		Run: runGuardedField,
+	})
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// runGuardedField generalizes the qpp.OnlineCache pattern: a mutex-
+// protected field is annotated at its declaration, and every selector
+// access `x.field` must live in a function that also calls `x.<mu>.Lock`
+// or `x.<mu>.RLock`. Construction through composite literals is not a
+// selector access, so constructors stay clean without annotations.
+func runGuardedField(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: collect annotated fields (field object -> mutex name).
+	guarded := map[types.Object]string{}
+	structName := map[types.Object]string{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := fieldGuardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						guarded[obj] = mu
+						structName[obj] = ts.Name.Name
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	// Pass 2: every selector access to a guarded field must share a
+	// function with a lock of the same mutex on the same base expression.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			locked := lockedExprs(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection := info.Selections[sel]
+				if selection == nil || selection.Kind() != types.FieldVal {
+					return true
+				}
+				mu, ok := guarded[selection.Obj()]
+				if !ok {
+					return true
+				}
+				base := types.ExprString(sel.X)
+				if locked[base+"."+mu] || locked[mu] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"%s.%s is guarded by %s but %s accesses it without locking %s.%s",
+					structName[selection.Obj()], sel.Sel.Name, mu, funcName(fd), base, mu)
+				return true
+			})
+		}
+	}
+}
+
+// fieldGuardAnnotation extracts the mutex name from a `guarded by <mu>`
+// doc or trailing comment on a struct field.
+func fieldGuardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedExprs collects the rendered receiver expressions of Lock/RLock
+// calls in a function body: `c.mu.Lock()` yields "c.mu".
+func lockedExprs(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if name := sel.Sel.Name; name == "Lock" || name == "RLock" {
+			out[types.ExprString(sel.X)] = true
+		}
+		return true
+	})
+	return out
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		return "method " + fd.Name.Name
+	}
+	return "function " + fd.Name.Name
+}

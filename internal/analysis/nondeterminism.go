@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterministicCore lists the packages under the replay guarantee: for a
+// fixed seed, serial and parallel runs must produce bit-identical
+// figures. Inside them, wall-clock reads and the process-global
+// math/rand source are forbidden outside test files — time comes from
+// the injected vclock, randomness from seeds threaded through configs.
+var DeterministicCore = []string{
+	"qpp/internal/vclock",
+	"qpp/internal/exec",
+	"qpp/internal/workload",
+	"qpp/internal/experiments",
+	"qpp/internal/mlearn",
+	"qpp/internal/qpp",
+}
+
+// timeDeny is the wall-clock surface of package time. Pure conversions
+// and constructors (time.Duration, time.Unix, time.Date) stay legal.
+var timeDeny = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// randAllow is the seedable surface of math/rand; everything else on the
+// package (Intn, Float64, Perm, Shuffle, Seed, ...) draws from the
+// process-global source, whose state depends on call interleaving.
+var randAllow = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func init() {
+	register(Rule{
+		Name: "nondeterminism",
+		Doc: "forbid wall-clock reads (time.Now/Since/...) and global math/rand " +
+			"functions in the deterministic-core packages; use the injected " +
+			"vclock and seeded rand.New(rand.NewSource(seed)) instead",
+		Run: runNondeterminism,
+	})
+}
+
+func isDeterministicCore(path string) bool {
+	for _, p := range DeterministicCore {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+func runNondeterminism(pass *Pass) {
+	// External test packages ("<path>.test") and test files are exempt:
+	// benchmarks legitimately measure wall-clock time.
+	if !isDeterministicCore(pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pkgName.Imported().Path() {
+			case "time":
+				if timeDeny[name] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock call time.%s breaks replay determinism; use the injected vclock/seed plumbing",
+						name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randAllow[name] && !strings.HasPrefix(name, "_") {
+					pass.Reportf(sel.Pos(),
+						"global math/rand.%s draws from the process-wide source; use rand.New(rand.NewSource(seed)) threaded from the config",
+						name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsClean lints the repository's own source with every
+// registered rule and demands zero findings, so CI catches new
+// violations even when nobody runs the qpplint CLI. Fixing the finding
+// is preferred; a `//qpplint:ignore <rule>` comment with a reason is the
+// escape hatch.
+func TestRepoIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	seenSelf := false
+	for _, pkg := range pkgs {
+		if pkg.Path == "qpp/internal/analysis" {
+			seenSelf = true
+		}
+		for _, e := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, e)
+		}
+	}
+	if !seenSelf {
+		t.Error("module load missed qpp/internal/analysis itself")
+	}
+	for _, f := range CheckAll(pkgs) {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,37 @@
+// Package errdrop exercises the errdrop rule.
+package errdrop
+
+import (
+	"errors"
+	"strconv"
+)
+
+// Mk returns a value and an error.
+func Mk(s string) (int, error) { return strconv.Atoi(s) }
+
+// DropTuple discards the error component of a multi-value call.
+func DropTuple(s string) int {
+	n, _ := Mk(s) // want `error assigned to _`
+	return n
+}
+
+// DropDirect assigns an error expression to blank.
+func DropDirect() {
+	_ = errors.New("boom") // want `error assigned to _`
+}
+
+// Handled propagates the error.
+func Handled(s string) (int, error) { return Mk(s) }
+
+// DropSuppressed documents why dropping is fine.
+func DropSuppressed() int {
+	//qpplint:ignore errdrop fixture: input is a constant, Atoi cannot fail
+	n, _ := Mk("42")
+	return n
+}
+
+// BlankNonError drops a non-error value, which is legal.
+func BlankNonError() int {
+	n, _ := 1, 2
+	return n
+}

@@ -1,0 +1,27 @@
+// Package floateq exercises the floateq rule.
+package floateq
+
+// Same compares floats exactly.
+func Same(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+// Differs compares floats exactly with !=.
+func Differs(a, b float64) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+// ZeroGuard compares against the exact zero constant, which is legal
+// (division guards, unset sentinels).
+func ZeroGuard(x float64) bool { return x == 0 }
+
+// IsNaN is the self-comparison idiom, which is legal.
+func IsNaN(x float64) bool { return x != x }
+
+// IntsAreFine compares integers.
+func IntsAreFine(a, b int) bool { return a == b }
+
+// Pinned documents an intentional exact comparison.
+func Pinned(a float64) bool {
+	return a == 1.5 //qpplint:ignore floateq fixture: exact binary constant
+}

@@ -1,0 +1,34 @@
+// Package guarded exercises the guardedfield rule.
+package guarded
+
+import "sync"
+
+// Counter is a mutex-guarded map wrapper, the qpp.OnlineCache pattern.
+type Counter struct {
+	mu     sync.Mutex
+	counts map[string]int // guarded by mu
+}
+
+// NewCounter constructs through a composite literal, which is not a
+// field access and needs no lock.
+func NewCounter() *Counter {
+	return &Counter{counts: map[string]int{}}
+}
+
+// Inc locks correctly.
+func (c *Counter) Inc(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[k]++
+}
+
+// Peek reads the guarded field without the lock.
+func (c *Counter) Peek(k string) int {
+	return c.counts[k] // want `Counter\.counts is guarded by mu`
+}
+
+// PeekSuppressed documents a deliberately lock-free read.
+func (c *Counter) PeekSuppressed(k string) int {
+	//qpplint:ignore guardedfield fixture: approximate read, staleness is acceptable
+	return c.counts[k]
+}

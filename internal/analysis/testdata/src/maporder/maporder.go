@@ -1,0 +1,61 @@
+// Package maporder exercises the maporder rule.
+package maporder
+
+import "sort"
+
+// SumValues accumulates floats in map-iteration order.
+func SumValues(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum`
+	}
+	return sum
+}
+
+// CollectValues appends map values and never sorts the result.
+func CollectValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `append to out`
+	}
+	return out
+}
+
+// SortedKeys is the canonical collect-then-sort idiom and is legal.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Dispatch fans work out per entry.
+func Dispatch(m map[string]func(), done chan string) {
+	for k, fn := range m {
+		go fn()   // want `goroutine launched per map entry`
+		done <- k // want `channel send per map entry`
+	}
+}
+
+// PerEntry only touches loop-local state; integer totals are exact in
+// any order.
+func PerEntry(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// SumSuppressed documents an accumulation the author asserts is safe.
+func SumSuppressed(m map[string]float64) float64 {
+	var n float64
+	for range m {
+		n += 1 //qpplint:ignore maporder fixture: adding exact integers is order-independent
+	}
+	return n
+}

@@ -1,0 +1,39 @@
+// Package nondet exercises the nondeterminism rule. The harness loads
+// it once under a deterministic-core import path (findings expected) and
+// once under a neutral path (no findings).
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Timestamps reads the wall clock two ways.
+func Timestamps() (time.Time, time.Duration) {
+	start := time.Now()    // want `wall-clock call time\.Now`
+	d := time.Since(start) // want `wall-clock call time\.Since`
+	return start, d
+}
+
+// GlobalRand draws from the process-global source.
+func GlobalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+// SeededRand is the sanctioned pattern: an explicit source built from a
+// threaded seed.
+func SeededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Durations uses only the pure, clock-free surface of package time.
+func Durations() time.Duration {
+	return 3 * time.Second
+}
+
+// Suppressed documents a deliberate wall-clock read.
+func Suppressed() time.Time {
+	//qpplint:ignore nondeterminism fixture: progress logging may read the wall clock
+	return time.Now()
+}

@@ -206,11 +206,14 @@ func (a *aggregate) drainHashed(ctx *execCtx) error {
 		groups[""] = &group{states: newAggStates(a.node.Aggs)}
 		order = append(order, "")
 	}
-	// Spill accounting when the group table exceeds work_mem.
-	var bytes float64
+	// Spill accounting when the group table exceeds work_mem. Cells are
+	// counted in integers so the total is exact regardless of the map's
+	// iteration order.
+	var cells int
 	for _, g := range groups {
-		bytes += float64(len(g.keys)+len(g.states)) * 16
+		cells += len(g.keys) + len(g.states)
 	}
+	bytes := float64(cells) * 16
 	if workBytes := float64(ctx.clock.WorkMemPages()) * 8192; bytes > workBytes {
 		pages := (bytes - workBytes) / 8192
 		ctx.clock.SpillPages(pages)

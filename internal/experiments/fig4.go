@@ -63,11 +63,18 @@ func Fig4(env *Env) (*Fig4Result, error) {
 		})
 	}
 
-	// Common sub-plans appear in the plans of 2+ templates.
+	// Common sub-plans appear in the plans of 2+ templates. Signatures are
+	// visited in sorted order so every derived row is deterministic.
+	allSigs := make([]string, 0, len(sigs))
+	for sig := range sigs {
+		allSigs = append(allSigs, sig)
+	}
+	sort.Strings(allSigs)
 	var common []*sigInfo
 	commonBySig := map[string]*sigInfo{}
 	var sigKeys []string
-	for sig, si := range sigs {
+	for _, sig := range allSigs {
+		si := sigs[sig]
 		if len(si.templates) >= 2 {
 			common = append(common, si)
 			commonBySig[sig] = si
@@ -116,6 +123,7 @@ func Fig4(env *Env) (*Fig4Result, error) {
 		for t := range si.templates {
 			ts = append(ts, t)
 		}
+		sort.Ints(ts)
 		for _, a := range ts {
 			for _, b := range ts {
 				if a == b {

@@ -105,9 +105,9 @@ func (s *scope) relByID(id int) *relInfo {
 // relSet is a bitset of relation ids.
 type relSet uint64
 
-func (s relSet) has(id int) bool        { return s&(1<<uint(id)) != 0 }
-func (s relSet) with(id int) relSet     { return s | 1<<uint(id) }
-func (s relSet) union(o relSet) relSet  { return s | o }
+func (s relSet) has(id int) bool       { return s&(1<<uint(id)) != 0 }
+func (s relSet) with(id int) relSet    { return s | 1<<uint(id) }
+func (s relSet) union(o relSet) relSet { return s | o }
 func (s relSet) count() int {
 	n := 0
 	for s != 0 {
@@ -129,13 +129,14 @@ func (p *planner) freeRels(e sql.Expr, sc *scope) relSet {
 	resolveIn := func(ref *sql.ColumnRef, inner *scope) {
 		// Try innermost scopes first (shadowing), then sc itself.
 		for cur := inner; cur != nil; cur = cur.outer {
-			if _, _, err := cur.resolve(ref); err == nil {
-				if cur == sc {
-					rel, _, _ := cur.resolve(ref)
-					set = set.with(rel)
-				}
-				return
+			rel, _, err := cur.resolve(ref)
+			if err != nil {
+				continue
 			}
+			if cur == sc {
+				set = set.with(rel)
+			}
+			return
 		}
 	}
 	walk = func(e sql.Expr, inner *scope) {

@@ -51,12 +51,14 @@ func BuildSubplanIndex(recs []*QueryRecord) *SubplanIndex {
 	return idx
 }
 
-// Signatures returns all indexed signatures (unordered).
+// Signatures returns all indexed signatures in sorted order, so callers
+// iterating it produce deterministic results.
 func (idx *SubplanIndex) Signatures() []string {
 	out := make([]string, 0, len(idx.occ))
 	for s := range idx.occ {
 		out = append(out, s)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -403,8 +405,11 @@ func (h *HybridPredictor) nextCandidate(idx *SubplanIndex, ev *hybridEval, rejec
 		sort.Slice(cands, func(i, j int) bool {
 			si := float64(cands[i].freq) * cands[i].err
 			sj := float64(cands[j].freq) * cands[j].err
-			if si != sj {
-				return si > sj
+			if si > sj {
+				return true
+			}
+			if si < sj {
+				return false
 			}
 			return cands[i].sig < cands[j].sig
 		})

@@ -35,7 +35,7 @@ type OnlineConfig struct {
 // index, so concurrent writers always store the same value for a key.
 type OnlineCache struct {
 	mu        sync.Mutex
-	decisions map[string]*SubplanModels // nil value = rejected
+	decisions map[string]*SubplanModels // guarded by mu; nil value = rejected
 }
 
 // NewOnlineCache returns an empty cache.

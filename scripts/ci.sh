@@ -1,9 +1,18 @@
 #!/usr/bin/env sh
-# CI gate: static analysis plus the full test suite under the race
-# detector. The parallel execution layer (internal/parallel, workload
-# builds, fold training, figure drivers) is only trusted because this
-# passes clean — run it before merging anything that touches
-# concurrency.
+# CI gate, fail-fast, one banner per stage:
+#
+#   1. gofmt       — formatting drift (includes testdata fixtures)
+#   2. go vet      — the toolchain's default analyzers
+#   3. go build    — everything compiles
+#   4. qpplint     — the repo's own invariants (determinism, map order,
+#                    guarded fields, float equality, dropped errors);
+#                    see internal/analysis and DESIGN.md
+#   5. go test -race — the full suite under the race detector
+#
+# The parallel execution layer (internal/parallel, workload builds, fold
+# training, figure drivers) is only trusted because stage 5 passes clean;
+# the replay determinism those tests check at runtime is what qpplint
+# enforces statically in stage 4.
 #
 # Heavy determinism tests automatically shrink their workload under
 # -race (see internal/experiments/race_on_test.go); pass any extra go
@@ -14,13 +23,28 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> go vet ./..."
+banner() {
+	printf '\n==> %s\n' "$1"
+}
+
+banner "gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "$unformatted"
+	echo "gofmt: the files above need reformatting (gofmt -w .)"
+	exit 1
+fi
+
+banner "go vet ./..."
 go vet ./...
 
-echo "==> go build ./..."
+banner "go build ./..."
 go build ./...
 
-echo "==> go test -race ./... $*"
+banner "qpplint ./..."
+go run ./cmd/qpplint ./...
+
+banner "go test -race ./... $*"
 go test -race ./... "$@"
 
-echo "==> CI OK"
+banner "CI OK"
