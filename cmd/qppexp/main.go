@@ -14,6 +14,8 @@
 //	qppexp -quick                 # reduced scale for a fast smoke run
 //	qppexp -per-template 20       # override workload size
 //	qppexp -parallel 8            # worker count (default GOMAXPROCS)
+//	qppexp -quick -metrics -      # dump the merged metrics registry to stdout
+//	qppexp -quick -trace t.json   # Chrome trace of every executed query
 package main
 
 import (
@@ -28,7 +30,9 @@ import (
 	"time"
 
 	"qpp/internal/experiments"
+	"qpp/internal/obs"
 	"qpp/internal/parallel"
+	"qpp/internal/workload"
 )
 
 func main() {
@@ -39,6 +43,8 @@ func main() {
 	perTemplate := flag.Int("per-template", 0, "override queries per template")
 	seed := flag.Int64("seed", 0, "override seed")
 	par := flag.Int("parallel", 0, "worker goroutines for execution and training (0 = GOMAXPROCS, 1 = serial)")
+	metricsOut := flag.String("metrics", "", "enable the obs layer and write the merged metrics registry dump to this file ('-' = stdout)")
+	traceOut := flag.String("trace", "", "enable the obs layer and write a Chrome trace_event JSON of every executed query to this file")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -58,6 +64,7 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Parallelism = *par
+	cfg.Observe = *metricsOut != "" || *traceOut != ""
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
@@ -82,10 +89,12 @@ func main() {
 
 	// The figure drivers are independent of each other: run them
 	// concurrently, buffering each section, then print in a fixed order so
-	// the report reads identically regardless of completion order.
+	// the report reads identically regardless of completion order. Each
+	// driver hands back its result's metrics registry (nil unless the obs
+	// layer is on); registries merge serially in driver order below.
 	type driver struct {
 		name string
-		fn   func(*experiments.Env, io.Writer) error
+		fn   func(*experiments.Env, io.Writer) (*obs.Registry, error)
 	}
 	drivers := []driver{
 		{"fig5", runFig5},
@@ -102,12 +111,15 @@ func main() {
 		}
 	}
 	outputs := make([]bytes.Buffer, len(selected))
+	regs := make([]*obs.Registry, len(selected))
 	elapsed := make([]time.Duration, len(selected))
 	err = parallel.ForEach(len(selected), cfg.Parallelism, func(i int) error {
 		start := time.Now()
-		if err := selected[i].fn(env, &outputs[i]); err != nil {
+		reg, err := selected[i].fn(env, &outputs[i])
+		if err != nil {
 			return fmt.Errorf("%s: %w", selected[i].name, err)
 		}
+		regs[i] = reg
 		elapsed[i] = time.Since(start)
 		return nil
 	})
@@ -118,14 +130,76 @@ func main() {
 		io.Copy(os.Stdout, &outputs[i])
 		fmt.Printf("(%s completed in %v)\n\n", d.name, elapsed[i].Round(time.Millisecond))
 	}
+
+	if *metricsOut != "" {
+		merged := obs.NewRegistry()
+		merged.MergePrefixed(env.Large.Metrics, "large.")
+		merged.MergePrefixed(env.Small.Metrics, "small.")
+		for _, reg := range regs {
+			if reg != nil {
+				merged.Merge(reg)
+			}
+		}
+		if err := writeMetrics(*metricsOut, merged); err != nil {
+			log.Fatalf("qppexp: %v", err)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTraces(*traceOut, env); err != nil {
+			log.Fatalf("qppexp: %v", err)
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", *traceOut)
+	}
+}
+
+// writeMetrics dumps the merged registry to a file or stdout.
+func writeMetrics(path string, reg *obs.Registry) error {
+	if path == "-" {
+		fmt.Println("## Metrics registry")
+		_, err := reg.WriteTo(os.Stdout)
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := reg.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTraces exports every executed query's span trace as one Chrome
+// trace_event process, large dataset first, in workload order.
+func writeTraces(path string, env *experiments.Env) error {
+	var traces []*obs.Trace
+	var labels []string
+	add := func(scale string, ds *workload.Dataset) {
+		for i, tr := range ds.Traces {
+			traces = append(traces, tr)
+			labels = append(labels, fmt.Sprintf("%s t%d #%d", scale, ds.Records[i].Template, i))
+		}
+	}
+	add("large", env.Large)
+	add("small", env.Small)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChrome(f, traces, labels); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
-func runFig5(env *experiments.Env, w io.Writer) error {
+func runFig5(env *experiments.Env, w io.Writer) (*obs.Registry, error) {
 	res, err := experiments.Fig5(env)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintln(w, "## Figure 5 / Section 5.2 — Prediction with the optimizer cost model")
 	fmt.Fprintf(w, "least-squares fit: time = %.3g * cost + %.3g\n", res.Slope, res.Intercept)
@@ -137,7 +211,7 @@ func runFig5(env *experiments.Env, w io.Writer) error {
 		p := res.Points[i]
 		fmt.Fprintf(w, "  T%-2d cost=%12.1f time=%8.3fs\n", p.Template, p.Cost, p.Time)
 	}
-	return nil
+	return res.Metrics, nil
 }
 
 func templateTable(errs []experiments.TemplateError) string {
@@ -148,10 +222,10 @@ func templateTable(errs []experiments.TemplateError) string {
 	return sb.String()
 }
 
-func runFig6(env *experiments.Env, w io.Writer) error {
+func runFig6(env *experiments.Env, w io.Writer) (*obs.Registry, error) {
 	res, err := experiments.Fig6(env)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintln(w, "## Figure 6 / Section 5.3 — Static workload prediction")
 	fmt.Fprintf(w, "### 6(a) Plan-level, large DB — mean %s (paper 6.75%%)\n%s",
@@ -164,13 +238,13 @@ func runFig6(env *experiments.Env, w io.Writer) error {
 		pct(res.OpSmallMean), res.OpSmallBestN, pct(res.OpSmallBestMean), templateTable(res.OpSmall))
 	fmt.Fprintf(w, "### 6(b)/(e) scatter sizes: plan=%d points, op=%d points\n",
 		len(res.PlanLargeScatter), len(res.OpLargeScatter))
-	return nil
+	return res.Metrics, nil
 }
 
-func runFig7(env *experiments.Env, w io.Writer) error {
+func runFig7(env *experiments.Env, w io.Writer) (*obs.Registry, error) {
 	res, err := experiments.Fig7(env)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintln(w, "## Figure 7 / Section 5.3.3 — Actual vs estimated feature values (large DB)")
 	fmt.Fprintln(w, "  train/test        plan-level   operator-level")
@@ -178,13 +252,13 @@ func runFig7(env *experiments.Env, w io.Writer) error {
 		fmt.Fprintf(w, "  %-8s/%-9s %10s %14s\n", c.Train, c.Test, pct(c.PlanErr), pct(c.OpErr))
 	}
 	fmt.Fprintf(w, "### 7(b) Plan-level actual/actual by template\n%s", templateTable(res.PlanActualByTemplate))
-	return nil
+	return res.Metrics, nil
 }
 
-func runFig8(env *experiments.Env, w io.Writer) error {
+func runFig8(env *experiments.Env, w io.Writer) (*obs.Registry, error) {
 	res, err := experiments.Fig8(env)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintln(w, "## Figure 8 / Section 5.3.4 — Hybrid plan-ordering strategies (held-out error vs iteration)")
 	names := make([]string, 0, len(res.Curves))
@@ -200,13 +274,13 @@ func runFig8(env *experiments.Env, w io.Writer) error {
 		}
 		fmt.Fprintln(w)
 	}
-	return nil
+	return res.Metrics, nil
 }
 
-func runFig9(env *experiments.Env, w io.Writer) error {
+func runFig9(env *experiments.Env, w io.Writer) (*obs.Registry, error) {
 	res, err := experiments.Fig9(env)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintln(w, "## Figure 9 / Section 5.4 — Dynamic workload (leave one template out)")
 	fmt.Fprintln(w, "  tmpl   plan-level   op-level   error-based   size-based   online")
@@ -216,13 +290,13 @@ func runFig9(env *experiments.Env, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "  mean %10s %10s %12s %12s %9s\n",
 		pct(res.PlanMean), pct(res.OpMean), pct(res.ErrMean), pct(res.SizeMean), pct(res.OnlineMean))
-	return nil
+	return res.Metrics, nil
 }
 
-func runFig4(env *experiments.Env, w io.Writer) error {
+func runFig4(env *experiments.Env, w io.Writer) (*obs.Registry, error) {
 	res, err := experiments.Fig4(env)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintln(w, "## Figure 4 / Section 4 — Common sub-plan analysis (14 templates, large DB)")
 	fmt.Fprintln(w, "### 4(a) CDF of common sub-plan sizes")
@@ -241,5 +315,5 @@ func runFig4(env *experiments.Env, w io.Writer) error {
 	for _, s := range res.Sharing {
 		fmt.Fprintf(w, "  T%-3d shares with %d other templates\n", s.Template, s.SharesWith)
 	}
-	return nil
+	return res.Metrics, nil
 }

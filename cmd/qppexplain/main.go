@@ -7,14 +7,17 @@
 //	qppexplain -sf 0.01 -template 3            # a random Q3 instance
 //	qppexplain -sf 0.01 -query 'select ...'    # ad-hoc SQL
 //	qppexplain -sf 0.01 -template 5 -analyze   # execute and show actuals
+//	qppexplain -sf 0.01 -template 5 -trace q5.json  # span trace + Chrome JSON
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"qpp"
+	"qpp/internal/obs"
 )
 
 func main() {
@@ -23,6 +26,7 @@ func main() {
 	template := flag.Int("template", 0, "TPC-H template to instantiate (1-15, 18, 19, 22)")
 	query := flag.String("query", "", "ad-hoc SQL (overrides -template)")
 	analyze := flag.Bool("analyze", false, "execute the query and show actual times")
+	traceOut := flag.String("trace", "", "execute with span tracing (implies -analyze), print the trace tree and write Chrome trace_event JSON to this file")
 	flag.Parse()
 
 	engine, err := qperf.NewEngine(qperf.EngineConfig{ScaleFactor: *sf, Seed: *seed})
@@ -39,6 +43,28 @@ func main() {
 			log.Fatalf("qppexplain: %v", err)
 		}
 		fmt.Printf("-- TPC-H template %d instance:\n%s\n\n", *template, sqlText)
+	}
+	if *traceOut != "" {
+		res, tr, err := engine.RunTraced(sqlText, *seed)
+		if err != nil {
+			log.Fatalf("qppexplain: %v", err)
+		}
+		fmt.Print(qperf.ExplainPlan(res.Plan))
+		fmt.Printf("\nRows: %d   Virtual execution time: %.4f s\n", len(res.Rows), res.Elapsed)
+		fmt.Printf("\n-- execution trace:\n%s", tr.Tree())
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("qppexplain: %v", err)
+		}
+		if err := obs.WriteChrome(f, []*obs.Trace{tr}, []string{sqlText}); err != nil {
+			f.Close()
+			log.Fatalf("qppexplain: write trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("qppexplain: write trace: %v", err)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s\n", *traceOut)
+		return
 	}
 	if *analyze {
 		res, err := engine.Run(sqlText, *seed)

@@ -14,6 +14,7 @@ import (
 var DeterministicCore = []string{
 	"qpp/internal/vclock",
 	"qpp/internal/exec",
+	"qpp/internal/obs",
 	"qpp/internal/workload",
 	"qpp/internal/experiments",
 	"qpp/internal/mlearn",

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 
+	"qpp/internal/obs"
 	"qpp/internal/plan"
 	"qpp/internal/storage"
 	"qpp/internal/types"
@@ -33,6 +34,12 @@ type Options struct {
 	// TimeLimit aborts the query when virtual time passes this many
 	// seconds; zero means no limit.
 	TimeLimit float64
+	// Trace, when non-nil, collects one span per operator (vclock window,
+	// exclusive I/O-vs-CPU attribution, cache and spill behaviour). The
+	// trace must be bound to the same clock the query runs on. Tracing
+	// never writes to the clock, so traced and untraced runs charge
+	// identical virtual times.
+	Trace *obs.Trace
 }
 
 // Result is the outcome of a query execution.
@@ -48,6 +55,7 @@ type execCtx struct {
 	clock *vclock.Clock
 	ectx  *plan.Ctx
 	limit float64
+	trace *obs.Trace
 }
 
 func (c *execCtx) overTime() bool {
@@ -74,7 +82,7 @@ func Run(db *storage.Database, root *plan.Node, clock *vclock.Clock, opts Option
 	root.Walk(func(n *plan.Node) { n.Act = plan.Actuals{} })
 
 	ectx := &plan.Ctx{Params: make([]types.Value, root.NumParams)}
-	ctx := &execCtx{db: db, clock: clock, ectx: ectx, limit: opts.TimeLimit}
+	ctx := &execCtx{db: db, clock: clock, ectx: ectx, limit: opts.TimeLimit, trace: opts.Trace}
 
 	// Correlated sub-plans are (re)executed on demand through this hook.
 	ectx.RunSubPlan = func(idx int, args []types.Value) (types.Value, error) {
@@ -254,10 +262,14 @@ func build(ctx *execCtx, n *plan.Node) (iterator, error) {
 // instrumented measures inclusive virtual time, rows, and loops for one
 // plan node. Because execution is single-threaded over one clock, the time
 // consumed inside this operator's calls (including its children's work) is
-// exactly the clock delta across the call.
+// exactly the clock delta across the call. When a trace is attached, every
+// call is additionally bracketed by span Enter/Exit so the obs layer can
+// attribute each clock interval to exactly one operator; the span is keyed
+// by the plan node, so sub-plan re-executions accumulate into one span.
 type instrumented struct {
 	inner    iterator
 	node     *plan.Node
+	span     *obs.Span
 	acc      float64 // inclusive virtual time consumed so far
 	firstSet bool
 }
@@ -269,11 +281,17 @@ func (w *instrumented) settle(ctx *execCtx, t0 float64) {
 
 // Open implements iterator.
 func (w *instrumented) Open(ctx *execCtx) error {
+	if ctx.trace != nil {
+		w.span = ctx.trace.Enter(w.node)
+	}
 	t0 := ctx.clock.Now()
 	w.node.Act.Executed = true
 	w.node.Act.Loops++
 	err := w.inner.Open(ctx)
 	w.settle(ctx, t0)
+	if ctx.trace != nil {
+		ctx.trace.Exit()
+	}
 	return err
 }
 
@@ -285,9 +303,15 @@ func (w *instrumented) Next(ctx *execCtx) (plan.Row, bool, error) {
 	if ctx.ectx.Err != nil {
 		return nil, false, ctx.ectx.Err
 	}
+	if ctx.trace != nil {
+		w.span = ctx.trace.Enter(w.node)
+	}
 	t0 := ctx.clock.Now()
 	row, ok, err := w.inner.Next(ctx)
 	w.settle(ctx, t0)
+	if ctx.trace != nil {
+		ctx.trace.Exit()
+	}
 	if err != nil {
 		return nil, false, err
 	}
@@ -296,6 +320,9 @@ func (w *instrumented) Next(ctx *execCtx) (plan.Row, bool, error) {
 		if !w.firstSet {
 			w.node.Act.StartTime = w.acc
 			w.firstSet = true
+			if ctx.trace != nil {
+				ctx.trace.MarkFirstRow(w.span)
+			}
 		}
 	} else {
 		w.node.Act.CompletedAt = ctx.clock.Now()
@@ -305,10 +332,16 @@ func (w *instrumented) Next(ctx *execCtx) (plan.Row, bool, error) {
 
 // ReScan implements iterator.
 func (w *instrumented) ReScan(ctx *execCtx, outer plan.Row) error {
+	if ctx.trace != nil {
+		w.span = ctx.trace.Enter(w.node)
+	}
 	t0 := ctx.clock.Now()
 	w.node.Act.Loops++
 	err := w.inner.ReScan(ctx, outer)
 	w.settle(ctx, t0)
+	if ctx.trace != nil {
+		ctx.trace.Exit()
+	}
 	return err
 }
 

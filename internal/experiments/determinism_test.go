@@ -45,9 +45,26 @@ func flattenActuals(root *plan.Node) []nodeObs {
 
 // requireDatasetsIdentical asserts ds is bit-identical to the serial
 // reference: same records in the same order, identical SQL, latencies,
-// per-operator timings, and timeout accounting.
+// per-operator timings, timeout accounting — and, when the obs layer is
+// on, byte-identical merged metrics and per-query trace trees.
 func requireDatasetsIdentical(t *testing.T, label string, ref, ds *workload.Dataset) {
 	t.Helper()
+	if (ds.Metrics == nil) != (ref.Metrics == nil) {
+		t.Fatalf("%s: metrics presence differs from serial", label)
+	}
+	if ds.Metrics != nil {
+		if got, want := ds.Metrics.String(), ref.Metrics.String(); got != want {
+			t.Fatalf("%s: merged metrics dump diverges from serial:\n%s\nvs\n%s", label, got, want)
+		}
+	}
+	if len(ds.Traces) != len(ref.Traces) {
+		t.Fatalf("%s: %d traces, serial reference has %d", label, len(ds.Traces), len(ref.Traces))
+	}
+	for i := range ds.Traces {
+		if got, want := ds.Traces[i].Tree(), ref.Traces[i].Tree(); got != want {
+			t.Fatalf("%s: trace %d diverges from serial:\n%s\nvs\n%s", label, i, got, want)
+		}
+	}
 	if len(ds.Records) != len(ref.Records) {
 		t.Fatalf("%s: %d records, serial reference has %d", label, len(ds.Records), len(ref.Records))
 	}
@@ -80,9 +97,11 @@ func requireDatasetsIdentical(t *testing.T, label string, ref, ds *workload.Data
 // TestParallelDeterminism is the regression test for the parallel
 // execution layer's core guarantee: for a fixed seed, building the
 // workload with 1, 2 or 8 workers yields bit-identical per-query
-// latencies, operator timings and figure rows as the serial run.
+// latencies, operator timings, figure rows, span traces and merged
+// metrics as the serial run.
 func TestParallelDeterminism(t *testing.T) {
 	cfg := determinismConfig(t)
+	cfg.Observe = true // the obs layer is under the same replay guarantee
 
 	cfg.Parallelism = 1 // serial reference
 	ref, err := BuildEnv(cfg)
@@ -121,6 +140,53 @@ func TestParallelDeterminism(t *testing.T) {
 		if !reflect.DeepEqual(fig6, refFig6) {
 			t.Fatalf("workers=%d: fig6 rows diverge from serial:\n%+v\nvs\n%+v", workers, fig6, refFig6)
 		}
+		// The figure registries' text dumps are the asserted byte-level
+		// contract (DeepEqual above already compares their internals).
+		if got, want := fig5.Metrics.String(), refFig5.Metrics.String(); got != want {
+			t.Fatalf("workers=%d: fig5 metrics dump diverges:\n%s\nvs\n%s", workers, got, want)
+		}
+		if got, want := fig6.Metrics.String(), refFig6.Metrics.String(); got != want {
+			t.Fatalf("workers=%d: fig6 metrics dump diverges:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestObserveDoesNotPerturbExecution: turning the obs layer on must not
+// change a single observable of the workload — same latencies, same
+// per-operator actuals, same timeout accounting.
+func TestObserveDoesNotPerturbExecution(t *testing.T) {
+	base := workload.Config{
+		ScaleFactor: 0.003,
+		Templates:   []int{1, 3, 6, 14},
+		PerTemplate: 3,
+		Seed:        42,
+		TimeLimit:   120,
+		Parallelism: 1,
+	}
+	plain, err := workload.Build(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := base
+	observed.Observe = true
+	traced, err := workload.Build(observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Metrics != nil || traced.Metrics == nil {
+		t.Fatal("Observe flag not reflected in the datasets")
+	}
+	if len(traced.Traces) != len(traced.Records) {
+		t.Fatalf("%d traces for %d records", len(traced.Traces), len(traced.Records))
+	}
+	// The traced dataset must match the plain one bit for bit (ignore the
+	// obs-only fields by comparing through the plain reference).
+	traced.Traces, traced.Metrics = nil, nil
+	tracedCfg := traced.Config
+	traced.Config = plain.Config
+	requireDatasetsIdentical(t, "observed build", plain, traced)
+	if !tracedCfg.Observe {
+		t.Fatal("config lost the Observe flag")
 	}
 }
 

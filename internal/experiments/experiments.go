@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"qpp/internal/mlearn"
+	"qpp/internal/obs"
 	"qpp/internal/parallel"
 	"qpp/internal/qpp"
 	"qpp/internal/workload"
@@ -35,6 +36,11 @@ type Config struct {
 	// and independent figure sub-experiments (<= 0: GOMAXPROCS, 1:
 	// serial). Every result is bit-identical across worker counts.
 	Parallelism int
+	// Observe enables the obs layer: both datasets carry per-query traces
+	// and a metrics registry, and every figure driver publishes its
+	// predicted-vs-actual error distributions into its result's Metrics
+	// registry. All registries are byte-identical across worker counts.
+	Observe bool
 }
 
 // DefaultConfig returns the full-scale reproduction settings.
@@ -79,6 +85,7 @@ func BuildEnv(cfg Config) (*Env, error) {
 		Seed:        cfg.Seed,
 		TimeLimit:   cfg.TimeLimit,
 		Parallelism: cfg.Parallelism,
+		Observe:     cfg.Observe,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: large dataset: %w", err)
@@ -89,6 +96,7 @@ func BuildEnv(cfg Config) (*Env, error) {
 		Seed:        cfg.Seed + 1000,
 		TimeLimit:   cfg.TimeLimit,
 		Parallelism: cfg.Parallelism,
+		Observe:     cfg.Observe,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: small dataset: %w", err)
@@ -150,6 +158,32 @@ func stratifiedFolds(recs []*qpp.QueryRecord, k int, seed int64) []mlearn.Fold {
 // figure row bit-identical across worker counts.
 func (e *Env) forEachPar(n int, fn func(i int) error) error {
 	return parallel.ForEach(n, e.Cfg.Parallelism, fn)
+}
+
+// figRegistry returns a fresh registry for a figure driver when the obs
+// layer is on, nil otherwise. Drivers record into it only after their
+// parallel slots are assembled, in record order, so the dump is
+// byte-identical across worker counts.
+func (e *Env) figRegistry() *obs.Registry {
+	if !e.Cfg.Observe {
+		return nil
+	}
+	return obs.NewRegistry()
+}
+
+// recordErrDist publishes a per-record relative-error distribution into a
+// figure's registry: one histogram for the whole series plus one per
+// template ("relerr.<series>" and "relerr.<series>.t<N>"). Records are
+// visited in slice order — the fixed merge order. No-op when reg is nil.
+func recordErrDist(reg *obs.Registry, series string, recs []*qpp.QueryRecord, pred []float64) {
+	if reg == nil {
+		return
+	}
+	for i, r := range recs {
+		e := mlearn.RelativeError(r.Time, pred[i])
+		reg.Observe("relerr."+series, e)
+		reg.Observe(fmt.Sprintf("relerr.%s.t%d", series, r.Template), e)
+	}
 }
 
 func subset(recs []*qpp.QueryRecord, idx []int) []*qpp.QueryRecord {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"sort"
 
+	"qpp/internal/obs"
 	"qpp/internal/plan"
 	"qpp/internal/tpch"
 	"qpp/internal/workload"
@@ -35,6 +36,10 @@ type Fig4Result struct {
 	SizeCDF     []CDFPoint
 	TopSubplans []CommonSubplan
 	Sharing     []TemplateSharing
+	// Metrics carries summary counters ("fig4.common_subplans",
+	// "fig4.signatures") and the common-sub-plan size distribution
+	// ("fig4.subplan_size") when the obs layer is on; nil otherwise.
+	Metrics *obs.Registry
 }
 
 // Fig4 analyzes sub-plan commonality across templates on the large dataset.
@@ -81,7 +86,14 @@ func Fig4(env *Env) (*Fig4Result, error) {
 			sigKeys = append(sigKeys, sig)
 		}
 	}
-	out := &Fig4Result{}
+	out := &Fig4Result{Metrics: env.figRegistry()}
+	if out.Metrics != nil {
+		out.Metrics.Add("fig4.signatures", float64(len(allSigs)))
+		out.Metrics.Add("fig4.common_subplans", float64(len(common)))
+		for _, si := range common {
+			out.Metrics.Observe("fig4.subplan_size", float64(si.size))
+		}
+	}
 
 	// (a) CDF of common sub-plan sizes.
 	sizes := make([]int, len(common))

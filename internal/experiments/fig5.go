@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"qpp/internal/mlearn"
+	"qpp/internal/obs"
 	"qpp/internal/qpp"
 )
 
@@ -25,6 +26,10 @@ type Fig5Result struct {
 	// PredictiveRisk is the R^2-style metric (paper footnote: ~0.93,
 	// deceptively close to 1 despite the high relative errors).
 	PredictiveRisk float64
+	// Metrics carries the cross-validated error distribution
+	// ("relerr.fig5.cost" plus per-template histograms) when the obs
+	// layer is on; nil otherwise.
+	Metrics *obs.Registry
 }
 
 // Fig5 runs the optimizer-cost baseline on the large dataset.
@@ -66,5 +71,7 @@ func Fig5(env *Env) (*Fig5Result, error) {
 	out.MeanRel = mlearn.MeanRelativeError(act, pred)
 	out.MaxRel = mlearn.MaxRelativeError(act, pred)
 	out.PredictiveRisk = mlearn.PredictiveRisk(act, pred)
+	out.Metrics = env.figRegistry()
+	recordErrDist(out.Metrics, "fig5.cost", recs, pred)
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"qpp/internal/obs"
 	"qpp/internal/qpp"
 	"qpp/internal/tpch"
 	"qpp/internal/workload"
@@ -32,11 +33,16 @@ type Fig6Result struct {
 
 	PlanLargeScatter []ActPred // Figure 6(b)
 	OpLargeScatter   []ActPred // Figure 6(e)
+
+	// Metrics carries the four error distributions
+	// ("relerr.fig6.{plan,op}.{large,small}" plus per-template
+	// histograms) when the obs layer is on; nil otherwise.
+	Metrics *obs.Registry
 }
 
 // Fig6 runs plan- and operator-level static prediction on both datasets.
 func Fig6(env *Env) (*Fig6Result, error) {
-	out := &Fig6Result{}
+	out := &Fig6Result{Metrics: env.figRegistry()}
 
 	run := func(ds *workload.Dataset, large bool) error {
 		// Plan-level: all templates.
@@ -56,6 +62,13 @@ func Fig6(env *Env) (*Fig6Result, error) {
 		}
 		opErrs := perTemplateErrors(opRecs, opPred)
 		opMean := meanError(opRecs, opPred)
+
+		scale := "small"
+		if large {
+			scale = "large"
+		}
+		recordErrDist(out.Metrics, "fig6.plan."+scale, recs, planPred)
+		recordErrDist(out.Metrics, "fig6.op."+scale, opRecs, opPred)
 
 		if large {
 			out.PlanLarge, out.PlanLargeMean = planErrs, planMean

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"qpp/internal/obs"
 	"qpp/internal/qpp"
 	"qpp/internal/tpch"
 	"qpp/internal/workload"
@@ -20,6 +21,10 @@ type Fig7Result struct {
 	// PlanActualByTemplate is Figure 7(b): plan-level actual/actual
 	// per-template errors on the large dataset.
 	PlanActualByTemplate []TemplateError
+	// Metrics carries one error distribution per feature combination
+	// ("relerr.fig7.{plan,op}.<train>-<test>") when the obs layer is on;
+	// nil otherwise.
+	Metrics *obs.Registry
 }
 
 // Fig7 evaluates the three feature-source combinations on the large dataset.
@@ -38,7 +43,7 @@ func Fig7(env *Env) (*Fig7Result, error) {
 		{qpp.FeatEstimates, qpp.FeatEstimates, [2]string{"estimate", "estimate"}},
 		{qpp.FeatActuals, qpp.FeatEstimates, [2]string{"actual", "estimate"}},
 	}
-	out := &Fig7Result{}
+	out := &Fig7Result{Metrics: env.figRegistry()}
 	for _, c := range combos {
 		// Plan-level; folds train concurrently.
 		planPred := make([]float64, len(recs))
@@ -88,6 +93,9 @@ func Fig7(env *Env) (*Fig7Result, error) {
 			PlanErr: meanError(recs, planPred),
 			OpErr:   meanError(opRecs, opPred),
 		})
+		comboName := c.name[0] + "-" + c.name[1]
+		recordErrDist(out.Metrics, "fig7.plan."+comboName, recs, planPred)
+		recordErrDist(out.Metrics, "fig7.op."+comboName, opRecs, opPred)
 		if c.train == qpp.FeatActuals && c.test == qpp.FeatActuals {
 			out.PlanActualByTemplate = perTemplateErrors(recs, planPred)
 		}

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
 	"qpp/internal/mlearn"
+	"qpp/internal/obs"
 	"qpp/internal/qpp"
 	"qpp/internal/tpch"
 	"qpp/internal/workload"
@@ -22,6 +25,10 @@ type Fig8Result struct {
 	Curves map[string][]IterPoint
 	// ModelsAccepted counts the plan-level models each strategy kept.
 	ModelsAccepted map[string]int
+	// Metrics carries per-strategy counters ("fig8.<strategy>.models",
+	// ".final_err") and the curve's error distribution
+	// ("relerr.fig8.<strategy>") when the obs layer is on; nil otherwise.
+	Metrics *obs.Registry
 }
 
 // Fig8 runs Algorithm 1 under each strategy.
@@ -67,10 +74,25 @@ func Fig8(env *Env) (*Fig8Result, error) {
 	}); err != nil {
 		return nil, err
 	}
-	out := &Fig8Result{Curves: map[string][]IterPoint{}, ModelsAccepted: map[string]int{}}
+	out := &Fig8Result{
+		Curves:         map[string][]IterPoint{},
+		ModelsAccepted: map[string]int{},
+		Metrics:        env.figRegistry(),
+	}
 	for si, s := range strategies {
 		out.Curves[s.String()] = curves[si]
 		out.ModelsAccepted[s.String()] = accepted[si]
+		if out.Metrics != nil {
+			name := s.String()
+			out.Metrics.Add(fmt.Sprintf("fig8.%s.models", name), float64(accepted[si]))
+			curve := curves[si]
+			for _, pt := range curve {
+				out.Metrics.Observe("relerr.fig8."+name, pt.Error)
+			}
+			if len(curve) > 0 {
+				out.Metrics.Add(fmt.Sprintf("fig8.%s.final_err", name), curve[len(curve)-1].Error)
+			}
+		}
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"qpp/internal/mlearn"
+	"qpp/internal/obs"
 	"qpp/internal/qpp"
 	"qpp/internal/tpch"
 	"qpp/internal/workload"
@@ -24,6 +25,10 @@ type Fig9Result struct {
 	Rows []DynamicRow
 	// Means across templates, per method.
 	PlanMean, OpMean, ErrMean, SizeMean, OnlineMean float64
+	// Metrics carries one per-held-out-template error distribution per
+	// method ("relerr.fig9.<method>") when the obs layer is on; nil
+	// otherwise.
+	Metrics *obs.Registry
 }
 
 // Fig9 runs the leave-one-template-out comparison over the paper's 12
@@ -93,10 +98,17 @@ func Fig9(env *Env) (*Fig9Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig9Result{}
+	out := &Fig9Result{Metrics: env.figRegistry()}
 	for _, row := range rows {
 		if row != nil {
 			out.Rows = append(out.Rows, *row)
+			if out.Metrics != nil {
+				out.Metrics.Observe("relerr.fig9.plan", row.PlanLevel)
+				out.Metrics.Observe("relerr.fig9.op", row.OpLevel)
+				out.Metrics.Observe("relerr.fig9.error_based", row.ErrorBased)
+				out.Metrics.Observe("relerr.fig9.size_based", row.SizeBased)
+				out.Metrics.Observe("relerr.fig9.online", row.Online)
+			}
 		}
 	}
 	n := float64(len(out.Rows))

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"qpp/internal/plan"
+	"qpp/internal/storage"
+	"qpp/internal/tpch"
+	"qpp/internal/vclock"
+	"qpp/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace snapshots")
+
+var goldenOnce struct {
+	sync.Once
+	db  *storage.Database
+	err error
+}
+
+// goldenDB builds the sf 0.01 snapshot database once per test binary.
+func goldenDB(t *testing.T) *storage.Database {
+	t.Helper()
+	goldenOnce.Do(func() {
+		goldenOnce.db, goldenOnce.err = tpch.Generate(tpch.GenConfig{ScaleFactor: 0.01, Seed: 42})
+	})
+	if goldenOnce.err != nil {
+		t.Fatal(goldenOnce.err)
+	}
+	return goldenOnce.db
+}
+
+// goldenSnapshot renders the full observable surface of one query
+// execution: the SQL text, the EXPLAIN ANALYZE tree (estimates vs
+// actuals) and the obs span trace. Everything in it is produced on the
+// virtual clock, so it is byte-stable across machines and runs.
+func goldenSnapshot(t *testing.T, db *storage.Database, tmpl int) string {
+	t.Helper()
+	qs, err := tpch.GenWorkload([]int{tmpl}, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qs[0]
+	rec, tr, err := workload.RunQueryTraced(db, q, vclock.DefaultProfile(), int64(1000+tmpl), 0, true)
+	if err != nil {
+		t.Fatalf("t%d: %v", tmpl, err)
+	}
+	return fmt.Sprintf("-- template %d\n%s\n\n-- explain analyze\n%s\n-- trace\n%s",
+		tmpl, q.SQL, plan.Explain(rec.Root), tr.Tree())
+}
+
+// TestGoldenTraces snapshots EXPLAIN ANALYZE output and the execution
+// trace for one instance of every TPC-H template at sf 0.01. Run with
+// -update to regenerate after an intentional change to the executor,
+// the cost clock or the trace renderer.
+func TestGoldenTraces(t *testing.T) {
+	db := goldenDB(t)
+	for _, tmpl := range tpch.Templates {
+		t.Run(fmt.Sprintf("t%d", tmpl), func(t *testing.T) {
+			got := goldenSnapshot(t, db, tmpl)
+			path := filepath.Join("testdata", fmt.Sprintf("trace_t%d.golden", tmpl))
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("snapshot diverges from %s (run with -update if intentional):\ngot:\n%s", path, got)
+			}
+		})
+	}
+}

@@ -2,33 +2,49 @@ package mlearn
 
 import "math"
 
+// RelErrCap bounds per-sample relative errors. A non-finite prediction
+// (NaN or ±Inf out of a degenerate model) or an astronomically large
+// ratio is reported as RelErrCap instead of poisoning every mean, min and
+// max that includes the sample with NaN/Inf.
+const RelErrCap = 1e12
+
 // MeanRelativeError returns (1/N) * sum |actual - estimate| / actual, the
 // paper's primary error metric (Section 5.1). Actual values with magnitude
-// below floor are clamped to floor to keep the metric finite.
+// below floor are clamped to floor to keep the metric finite, and each
+// per-sample error is capped at RelErrCap.
 func MeanRelativeError(actual, estimate []float64) float64 {
-	const floor = 1e-9
 	if len(actual) == 0 {
 		return 0
 	}
 	var s float64
 	for i := range actual {
-		a := math.Abs(actual[i])
-		if a < floor {
-			a = floor
-		}
-		s += math.Abs(actual[i]-estimate[i]) / a
+		s += RelativeError(actual[i], estimate[i])
 	}
 	return s / float64(len(actual))
 }
 
-// RelativeError returns |actual - estimate| / actual for one prediction.
+// RelativeError returns |actual - estimate| / actual for one prediction,
+// with the default 1e-9 actual floor and the RelErrCap bound.
 func RelativeError(actual, estimate float64) float64 {
-	const floor = 1e-9
+	return RelativeErrorFloor(actual, estimate, 1e-9)
+}
+
+// RelativeErrorFloor is RelativeError with a caller-chosen floor on the
+// actual's magnitude. Metrics whose actual value is legitimately zero
+// (result cardinality, pages read on a cached plan) pass a floor in the
+// metric's natural unit so a zero actual scores against one unit instead
+// of exploding. The result is always finite: NaN and values above
+// RelErrCap collapse to RelErrCap.
+func RelativeErrorFloor(actual, estimate, floor float64) float64 {
 	a := math.Abs(actual)
 	if a < floor {
 		a = floor
 	}
-	return math.Abs(actual-estimate) / a
+	e := math.Abs(actual-estimate) / a
+	if math.IsNaN(e) || e > RelErrCap {
+		return RelErrCap
+	}
+	return e
 }
 
 // MaxRelativeError returns the largest per-sample relative error.

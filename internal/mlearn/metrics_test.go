@@ -1,0 +1,77 @@
+package mlearn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRelativeErrorFinite(t *testing.T) {
+	cases := []struct {
+		actual, estimate float64
+	}{
+		{0, 5},
+		{0, 0},
+		{1e-15, 3},
+		{2, math.NaN()},
+		{2, math.Inf(1)},
+		{2, math.Inf(-1)},
+		{0, math.Inf(1)},
+		{math.Inf(1), 1},
+	}
+	for _, c := range cases {
+		e := RelativeError(c.actual, c.estimate)
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Errorf("RelativeError(%v, %v) = %v, want finite", c.actual, c.estimate, e)
+		}
+		if e < 0 || e > RelErrCap {
+			t.Errorf("RelativeError(%v, %v) = %v outside [0, cap]", c.actual, c.estimate, e)
+		}
+	}
+}
+
+func TestRelativeErrorExactValues(t *testing.T) {
+	if e := RelativeError(2, 1); e != 0.5 {
+		t.Fatalf("RelativeError(2,1) = %v", e)
+	}
+	if e := RelativeError(2, 2); e != 0 {
+		t.Fatalf("RelativeError(2,2) = %v", e)
+	}
+	if e := RelativeError(2, math.NaN()); e != RelErrCap {
+		t.Fatalf("NaN estimate: %v, want cap", e)
+	}
+}
+
+func TestMeanRelativeErrorNoNaN(t *testing.T) {
+	act := []float64{0, 1, 2}
+	est := []float64{3, math.NaN(), math.Inf(1)}
+	m := MeanRelativeError(act, est)
+	if math.IsNaN(m) || math.IsInf(m, 0) {
+		t.Fatalf("mean %v not finite", m)
+	}
+	// The NaN and Inf samples each contribute the cap.
+	if m < RelErrCap/3 {
+		t.Fatalf("mean %v lost the capped samples", m)
+	}
+}
+
+func TestMinMaxRelativeErrorWithBadSamples(t *testing.T) {
+	act := []float64{1, 2}
+	est := []float64{1.1, math.NaN()}
+	if mx := MaxRelativeError(act, est); mx != RelErrCap {
+		t.Fatalf("max %v, want cap", mx)
+	}
+	if mn := MinRelativeError(act, est); math.IsNaN(mn) || mn > 0.11 {
+		t.Fatalf("min %v", mn)
+	}
+}
+
+func TestRelativeErrorFloor(t *testing.T) {
+	// A zero actual with floor 1 scores the estimate absolutely.
+	if e := RelativeErrorFloor(0, 3, 1); e != 3 {
+		t.Fatalf("floor-1 error %v, want 3", e)
+	}
+	// Actuals above the floor are unaffected by it.
+	if e := RelativeErrorFloor(10, 5, 1); e != 0.5 {
+		t.Fatalf("error %v, want 0.5", e)
+	}
+}

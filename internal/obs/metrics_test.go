@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, bucketZero},
+		{-1, bucketZero},
+		{math.Inf(-1), bucketZero},
+		{math.Inf(1), bucketInf},
+		{math.NaN(), bucketNaN},
+		{1, 1}, // [1, 2)
+		{1.999, 1},
+		{2, 2},   // [2, 4)
+		{0.5, 0}, // [0.5, 1)
+		{0.25, -1},
+		{1024, 11},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBucketBoundsContainValue(t *testing.T) {
+	for _, v := range []float64{1e-6, 0.3, 1, 1.5, 2, 7, 1e9} {
+		lo, hi := BucketBounds(bucketOf(v))
+		if v < lo || v >= hi {
+			t.Errorf("value %v outside its bucket [%v, %v)", v, lo, hi)
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{1, 2, 3, 0.5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Sum() != 6.5 {
+		t.Fatalf("sum %v", h.Sum())
+	}
+	if h.Min() != 0.5 || h.Max() != 3 {
+		t.Fatalf("min/max %v/%v", h.Min(), h.Max())
+	}
+	if h.Mean() != 6.5/4 {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	// Quantile upper bound: the 2nd of 4 observations (1) lives in [1,2).
+	if q := h.Quantile(0.5); q != 2 {
+		t.Fatalf("p50 bound %v", q)
+	}
+}
+
+func TestHistogramSpecialValues(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(math.Inf(1))
+	h.Observe(math.NaN())
+	if h.Count() != 3 {
+		t.Fatalf("count %d", h.Count())
+	}
+	bs := h.Buckets()
+	if len(bs) != 3 {
+		t.Fatalf("buckets %v", bs)
+	}
+	// Special buckets sort: <=0 first, then +inf, then nan.
+	if bs[0].Index != bucketZero || bs[1].Index != bucketInf || bs[2].Index != bucketNaN {
+		t.Fatalf("bucket order %v", bs)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram stats must be zero")
+	}
+}
+
+func TestRegistryCountersAndDump(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("b.count")
+	r.Add("a.total", 2.5)
+	r.Add("a.total", 0.5)
+	r.Observe("lat", 1.5)
+	r.Observe("lat", 3)
+	dump := r.String()
+	want := "counter a.total 3\ncounter b.count 1\nhist lat count=2 sum=4.5 min=1.5 max=3 p50<=2 buckets=[2^1:1 2^2:1]\n"
+	if dump != want {
+		t.Fatalf("dump:\n%s\nwant:\n%s", dump, want)
+	}
+}
+
+func TestRegistryMergePrefixed(t *testing.T) {
+	a := NewRegistry()
+	a.Add("x", 1)
+	a.Observe("h", 2)
+	b := NewRegistry()
+	b.MergePrefixed(a, "pre.")
+	if b.Counter("pre.x") != 1 {
+		t.Fatalf("prefixed counter %v", b.Counter("pre.x"))
+	}
+	if h := b.Hist("pre.h"); h == nil || h.Count() != 1 {
+		t.Fatalf("prefixed hist %v", h)
+	}
+	// Merging must not alias the source histogram.
+	b.Observe("pre.h", 5)
+	if a.Hist("h").Count() != 1 {
+		t.Fatal("merge aliased the source histogram")
+	}
+}
+
+func TestClassProfileRecordInto(t *testing.T) {
+	p := NewClassProfile()
+	p.Record("Seq Scan", Breakdown{Busy: 1, IO: 0.5, Pages: 10})
+	p.Record("Seq Scan", Breakdown{Busy: 2, IO: 1, Pages: 20})
+	p.Record("Sort", Breakdown{Busy: 3, SpillPages: 4})
+	if got := p.Get("Seq Scan"); got.Busy != 3 || got.IO != 1.5 || got.Pages != 30 {
+		t.Fatalf("accumulated breakdown %+v", got)
+	}
+	if classes := p.Classes(); len(classes) != 2 || classes[0] != "Seq Scan" || classes[1] != "Sort" {
+		t.Fatalf("classes %v", p.Classes())
+	}
+	reg := NewRegistry()
+	p.RecordInto(reg, "profile")
+	if reg.Counter("profile.Seq Scan.busy_s") != 3 || reg.Counter("profile.Sort.spill_pages") != 4 {
+		t.Fatalf("registry publication:\n%s", reg.String())
+	}
+	if !strings.Contains(reg.String(), "profile.Seq Scan.io_s 1.5") {
+		t.Fatalf("dump missing io_s:\n%s", reg.String())
+	}
+}
+
+func TestClassProfileMerge(t *testing.T) {
+	a := NewClassProfile()
+	a.Record("Sort", Breakdown{Busy: 1})
+	b := NewClassProfile()
+	b.Record("Sort", Breakdown{Busy: 2})
+	b.Record("Hash", Breakdown{Busy: 5})
+	a.Merge(b)
+	if a.Get("Sort").Busy != 3 || a.Get("Hash").Busy != 5 {
+		t.Fatalf("merge result: Sort=%v Hash=%v", a.Get("Sort"), a.Get("Hash"))
+	}
+}

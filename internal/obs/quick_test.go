@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qpp/internal/plan"
+	"qpp/internal/vclock"
+)
+
+// randHist builds a histogram from up to 32 random observations spanning
+// many orders of magnitude plus the special buckets.
+func randHist(rng *rand.Rand) *Histogram {
+	h := NewHistogram()
+	n := rng.Intn(33)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			h.Observe(0)
+		case 1:
+			h.Observe(-rng.Float64())
+		case 2:
+			h.Observe(math.Inf(1))
+		default:
+			h.Observe(rng.Float64() * math.Ldexp(1, rng.Intn(60)-30))
+		}
+	}
+	return h
+}
+
+func cloneHist(h *Histogram) *Histogram {
+	c := NewHistogram()
+	c.Merge(h)
+	return c
+}
+
+// sameCounts compares the merge-order-invariant parts of two histograms:
+// count, min, max, and every bucket count. (Float sums are only
+// reproducible for a fixed merge order, so they are excluded here and
+// covered by the commutativity property, where IEEE addition is exact.)
+func sameCounts(a, b *Histogram) bool {
+	if a.Count() != b.Count() || a.Min() != b.Min() || a.Max() != b.Max() {
+		return false
+	}
+	ab, bb := a.Buckets(), b.Buckets()
+	if len(ab) != len(bb) {
+		return false
+	}
+	for i := range ab {
+		if ab[i] != bb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHistogramMergePreservesCount: merging preserves total observation
+// and per-bucket counts, and the merged sum is the exact float sum.
+func TestHistogramMergePreservesCount(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randHist(rng), randHist(rng)
+		m := cloneHist(a)
+		m.Merge(b)
+		if m.Count() != a.Count()+b.Count() {
+			return false
+		}
+		var total int64
+		for _, bk := range m.Buckets() {
+			total += bk.Count
+		}
+		return total == m.Count() && m.Sum() == a.Sum()+b.Sum()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramMergeCommutative: a⊕b == b⊕a. IEEE float addition is
+// commutative, so this holds for the sums too, not just the counts.
+func TestHistogramMergeCommutative(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randHist(rng), randHist(rng)
+		ab := cloneHist(a)
+		ab.Merge(b)
+		ba := cloneHist(b)
+		ba.Merge(a)
+		sumEq := ab.Sum() == ba.Sum() || (math.IsNaN(ab.Sum()) && math.IsNaN(ba.Sum()))
+		return sameCounts(ab, ba) && sumEq
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramMergeAssociative: (a⊕b)⊕c == a⊕(b⊕c) on all
+// merge-order-invariant state (counts, buckets, min, max).
+func TestHistogramMergeAssociative(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randHist(rng), randHist(rng), randHist(rng)
+		l := cloneHist(a)
+		l.Merge(b)
+		l.Merge(c)
+		bc := cloneHist(b)
+		bc.Merge(c)
+		r := cloneHist(a)
+		r.Merge(bc)
+		return sameCounts(l, r)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randSpanTree drives a trace through a random execution shape: each node
+// is entered calls-many times; every call charges some clock work, may
+// recurse into children, then charges more work before exiting.
+func randSpanTree(rng *rand.Rand, tr *Trace, clock *vclock.Clock, depth int) {
+	n := &plan.Node{Op: plan.OpSeqScan}
+	calls := 1 + rng.Intn(3)
+	for c := 0; c < calls; c++ {
+		tr.Enter(n)
+		clock.CPUTuples(float64(1 + rng.Intn(100)))
+		if depth < 3 && rng.Intn(2) == 0 {
+			kids := 1 + rng.Intn(2)
+			for k := 0; k < kids; k++ {
+				randSpanTree(rng, tr, clock, depth+1)
+			}
+		}
+		if rng.Intn(2) == 0 {
+			clock.SortCompares(float64(rng.Intn(1000)))
+		}
+		tr.Exit()
+	}
+}
+
+// TestSpanNestingProperty: for every span, the inclusive busy times of
+// its children sum to no more than its own — children only run inside
+// parent calls on one shared clock (allowing float-rounding slack).
+func TestSpanNestingProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clock := vclock.NewClock(vclock.DefaultProfile(), seed)
+		tr := NewTrace(clock)
+		randSpanTree(rng, tr, clock, 0)
+		for _, s := range tr.Spans() {
+			var kids float64
+			for _, c := range s.Children {
+				kids += c.Incl
+			}
+			if kids > s.Incl*(1+1e-12)+1e-12 {
+				t.Logf("span %p incl=%v children=%v", s, s.Incl, kids)
+				return false
+			}
+			if s.End < s.Start || s.Incl < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -81,3 +81,39 @@ func TrainPlanLevelMetric(recs []*QueryRecord, metric Metric, mode FeatureMode, 
 func (p *MetricPredictor) Predict(rec *QueryRecord) float64 {
 	return p.Model.Predict(PlanFeatures(rec.Root, p.Mode))
 }
+
+// MetricFloor is the smallest actual magnitude a relative error divides
+// by for the metric. Latency uses a microsecond of virtual time (every
+// executed query advances the clock, so observed latencies sit far above
+// it); pages and rows are counts that are legitimately zero — an empty
+// result or fully cached plan — so they floor at one unit, scoring an
+// estimate of k against a zero actual as an error of k rather than k/1e-9.
+func MetricFloor(m Metric) float64 {
+	switch m {
+	case MetricPagesRead, MetricRowsOut:
+		return 1
+	default:
+		return 1e-6
+	}
+}
+
+// MetricRelativeError is the per-sample relative error in the metric's
+// own unit: |actual-estimate| / max(|actual|, MetricFloor(m)), capped at
+// mlearn.RelErrCap. It is finite for every input, including zero actuals
+// and NaN/Inf estimates, so figure output never carries NaN or Inf.
+func MetricRelativeError(m Metric, actual, estimate float64) float64 {
+	return mlearn.RelativeErrorFloor(actual, estimate, MetricFloor(m))
+}
+
+// Eval returns the predictor's mean relative error over records, using
+// the metric's floor (0 when recs is empty).
+func (p *MetricPredictor) Eval(recs []*QueryRecord) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range recs {
+		s += MetricRelativeError(p.Metric, MetricValue(r, p.Metric), p.Predict(r))
+	}
+	return s / float64(len(recs))
+}

@@ -82,11 +82,57 @@ type Clock struct {
 	cpuScale float64
 
 	// Totals for diagnostics and tests.
-	IOTime    float64
-	CPUTime   float64
-	HiddenCPU float64
-	PagesRead float64
-	CacheHits float64
+	IOTime       float64
+	CPUTime      float64
+	NumericTime  float64 // decimal-arithmetic share of CPUTime
+	HiddenCPU    float64
+	PagesRead    float64
+	CacheHits    float64
+	SpilledPages float64
+}
+
+// Totals is a monotone snapshot of a clock's accumulated device work. The
+// observability layer (internal/obs) diffs two snapshots taken around an
+// operator call to attribute the interval's work to that operator; every
+// field only ever grows, so any two snapshots of the same clock are
+// subtractable.
+type Totals struct {
+	Now         float64 // virtual seconds elapsed
+	IOTime      float64 // seconds spent in (non-overlapped) page I/O
+	CPUTime     float64 // CPU seconds charged (including hidden/overlapped)
+	NumericTime float64 // decimal-arithmetic share of CPUTime
+	HiddenCPU   float64 // CPU seconds hidden behind I/O overlap
+	PagesRead   float64 // pages touched (cache hits included)
+	CacheHits   float64 // buffer-cache hits
+	SpillPages  float64 // pages written+read by work_mem spills
+}
+
+// Sub returns the component-wise difference t - o.
+func (t Totals) Sub(o Totals) Totals {
+	return Totals{
+		Now:         t.Now - o.Now,
+		IOTime:      t.IOTime - o.IOTime,
+		CPUTime:     t.CPUTime - o.CPUTime,
+		NumericTime: t.NumericTime - o.NumericTime,
+		HiddenCPU:   t.HiddenCPU - o.HiddenCPU,
+		PagesRead:   t.PagesRead - o.PagesRead,
+		CacheHits:   t.CacheHits - o.CacheHits,
+		SpillPages:  t.SpillPages - o.SpillPages,
+	}
+}
+
+// Add returns the component-wise sum t + o.
+func (t Totals) Add(o Totals) Totals {
+	return Totals{
+		Now:         t.Now + o.Now,
+		IOTime:      t.IOTime + o.IOTime,
+		CPUTime:     t.CPUTime + o.CPUTime,
+		NumericTime: t.NumericTime + o.NumericTime,
+		HiddenCPU:   t.HiddenCPU + o.HiddenCPU,
+		PagesRead:   t.PagesRead + o.PagesRead,
+		CacheHits:   t.CacheHits + o.CacheHits,
+		SpillPages:  t.SpillPages + o.SpillPages,
+	}
 }
 
 // NewClock builds a clock with a cold buffer cache. The seed drives the
@@ -108,6 +154,20 @@ func NewClock(prof DeviceProfile, seed int64) *Clock {
 
 // Now returns the current virtual time in seconds.
 func (c *Clock) Now() float64 { return c.now }
+
+// Totals snapshots the clock's accumulated work counters.
+func (c *Clock) Totals() Totals {
+	return Totals{
+		Now:         c.now,
+		IOTime:      c.IOTime,
+		CPUTime:     c.CPUTime,
+		NumericTime: c.NumericTime,
+		HiddenCPU:   c.HiddenCPU,
+		PagesRead:   c.PagesRead,
+		CacheHits:   c.CacheHits,
+		SpillPages:  c.SpilledPages,
+	}
+}
 
 // Profile returns the device profile in use.
 func (c *Clock) Profile() DeviceProfile { return c.prof }
@@ -139,6 +199,7 @@ func (c *Clock) SpillPages(pages float64) {
 	t := 2 * pages * c.prof.SeqPageRead * c.ioScale
 	c.now += t
 	c.IOTime += t
+	c.SpilledPages += pages
 	c.ioCredit += t * c.prof.OverlapFrac
 }
 
@@ -148,7 +209,10 @@ func (c *Clock) CPUTuples(n float64) { c.chargeCPU(n * c.prof.CPUTuple) }
 
 // CPUOps charges expression evaluation work: ops primitive operations of
 // which numericOps are decimal operations at the software-numeric rate.
+// The decimal share is additionally tracked in NumericTime so the obs
+// layer can attribute numeric work separately from plain CPU.
 func (c *Clock) CPUOps(ops, numericOps float64) {
+	c.NumericTime += numericOps * c.prof.NumericOp * c.cpuScale
 	c.chargeCPU(ops*c.prof.CPUOp + numericOps*c.prof.NumericOp)
 }
 

@@ -1,0 +1,84 @@
+package vclock
+
+import "testing"
+
+func totalsTestClock() *Clock {
+	p := DefaultProfile()
+	p.NoiseSigma = 0
+	return NewClock(p, 1)
+}
+
+// TestTotalsSnapshot: Totals mirrors the clock's accumulated work and
+// Sub yields exact component-wise deltas.
+func TestTotalsSnapshot(t *testing.T) {
+	c := totalsTestClock()
+	before := c.Totals()
+	if before != (Totals{}) {
+		t.Fatalf("fresh clock totals %+v", before)
+	}
+
+	c.ReadPage("t", 0, true)
+	c.CPUTuples(100)
+	c.CPUOps(50, 20)
+	c.SpillPages(3)
+
+	after := c.Totals()
+	d := after.Sub(before)
+	if d.Now != c.Now() {
+		t.Fatalf("delta now %v != clock now %v", d.Now, c.Now())
+	}
+	if d.IOTime <= 0 || d.CPUTime <= 0 || d.PagesRead != 1 {
+		t.Fatalf("delta %+v", d)
+	}
+	if d.NumericTime <= 0 || d.NumericTime >= d.CPUTime {
+		t.Fatalf("numeric time %v not a proper share of cpu time %v", d.NumericTime, d.CPUTime)
+	}
+	if d.SpillPages <= 0 {
+		t.Fatalf("spill pages %v", d.SpillPages)
+	}
+	if got := before.Add(d); got != after {
+		t.Fatalf("Add(Sub) not inverse: %+v vs %+v", got, after)
+	}
+}
+
+// TestTotalsMonotone: every component only grows as work is charged.
+func TestTotalsMonotone(t *testing.T) {
+	c := totalsTestClock()
+	prev := c.Totals()
+	step := func(name string) {
+		cur := c.Totals()
+		d := cur.Sub(prev)
+		for i, v := range []float64{d.Now, d.IOTime, d.CPUTime, d.NumericTime, d.HiddenCPU, d.PagesRead, d.CacheHits, d.SpillPages} {
+			if v < 0 {
+				t.Fatalf("after %s: component %d went backwards (%v)", name, i, v)
+			}
+		}
+		prev = cur
+	}
+	c.ReadPage("t", 0, true)
+	step("read")
+	c.ReadPage("t", 0, true) // cache hit
+	step("hit")
+	c.CPUTuples(1000)
+	step("cpu")
+	c.CPUOps(10, 10)
+	step("numeric")
+	c.SpillPages(2)
+	step("spill")
+	c.SortCompares(500)
+	step("sort")
+}
+
+// TestTotalsCacheHits: re-reading a page is a hit, not a page read.
+func TestTotalsCacheHits(t *testing.T) {
+	c := totalsTestClock()
+	c.ReadPage("t", 7, false)
+	c.ReadPage("t", 7, false)
+	tot := c.Totals()
+	if tot.PagesRead != 2 {
+		t.Fatalf("pages read %v, want 2 (hits count as touched pages)", tot.PagesRead)
+	}
+	if tot.CacheHits != 1 {
+		t.Fatalf("cache hits %v, want 1", tot.CacheHits)
+	}
+}

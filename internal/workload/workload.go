@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"qpp/internal/exec"
+	"qpp/internal/obs"
 	"qpp/internal/opt"
 	"qpp/internal/parallel"
 	"qpp/internal/qpp"
@@ -45,6 +46,12 @@ type Config struct {
 	// (<= 0: GOMAXPROCS, 1: serial). Results are bit-identical for every
 	// value: each query's seed depends only on its workload index.
 	Parallelism int
+	// Observe enables the observability layer: each query executes with
+	// span tracing, and the Dataset carries per-query traces plus a
+	// metrics registry (latency histograms per template, device totals,
+	// per-operator-class work profile) merged in workload order. Off by
+	// default — tracing adds per-iterator-call bookkeeping.
+	Observe bool
 }
 
 // Dataset is an executed workload: the database plus one record per query
@@ -57,6 +64,14 @@ type Dataset struct {
 	// template-9 queries.
 	TimedOut map[int]int
 	Config   Config
+	// Traces holds one execution trace per record (index-aligned with
+	// Records) when Config.Observe was set; nil otherwise.
+	Traces []*obs.Trace
+	// Metrics aggregates per-query observations when Config.Observe was
+	// set; nil otherwise. Workers fill index-addressed slots and the
+	// registries are merged serially in workload order, so the dump is
+	// byte-identical for every worker count.
+	Metrics *obs.Registry
 }
 
 // Build generates, plans and executes the workload.
@@ -94,9 +109,10 @@ func Build(cfg Config) (*Dataset, error) {
 		seeds[i] = noiseRng.Int63()
 	}
 	recs := make([]*qpp.QueryRecord, len(queries))
+	traces := make([]*obs.Trace, len(queries))
 	timedOut := make([]bool, len(queries))
 	err = parallel.ForEach(len(queries), cfg.Parallelism, func(i int) error {
-		rec, err := RunQuery(db, queries[i], prof, seeds[i], cfg.TimeLimit)
+		rec, tr, err := RunQueryTraced(db, queries[i], prof, seeds[i], cfg.TimeLimit, cfg.Observe)
 		if err == exec.ErrTimeout {
 			timedOut[i] = true
 			return nil
@@ -105,6 +121,7 @@ func Build(cfg Config) (*Dataset, error) {
 			return fmt.Errorf("workload: template %d: %w", queries[i].Template, err)
 		}
 		recs[i] = rec
+		traces[i] = tr
 		return nil
 	})
 	if err != nil {
@@ -118,28 +135,78 @@ func Build(cfg Config) (*Dataset, error) {
 			continue
 		}
 		ds.Records = append(ds.Records, recs[i])
+		if cfg.Observe {
+			ds.Traces = append(ds.Traces, traces[i])
+		}
+	}
+	if cfg.Observe {
+		ds.Metrics = buildMetrics(queries, recs, traces, timedOut)
 	}
 	return ds, nil
+}
+
+// buildMetrics aggregates per-query observations into one registry. It
+// visits queries in workload order — the fixed merge order that keeps the
+// aggregate byte-identical across worker counts.
+func buildMetrics(queries []tpch.Query, recs []*qpp.QueryRecord, traces []*obs.Trace, timedOut []bool) *obs.Registry {
+	reg := obs.NewRegistry()
+	profile := obs.NewClassProfile()
+	for i, q := range queries {
+		if timedOut[i] {
+			reg.Inc(fmt.Sprintf("queries.timeout.t%d", q.Template))
+			continue
+		}
+		rec, tr := recs[i], traces[i]
+		reg.Inc("queries.executed")
+		reg.Observe("latency.all", rec.Time)
+		reg.Observe(fmt.Sprintf("latency.t%d", q.Template), rec.Time)
+		tot := tr.Totals()
+		reg.Add("device.io_s", tot.IOTime)
+		reg.Add("device.cpu_s", tot.CPUTime)
+		reg.Add("device.numeric_s", tot.NumericTime)
+		reg.Add("device.hidden_cpu_s", tot.HiddenCPU)
+		reg.Add("device.pages_read", tot.PagesRead)
+		reg.Add("device.cache_hits", tot.CacheHits)
+		reg.Add("device.spill_pages", tot.SpillPages)
+		tr.Attribute(profile)
+	}
+	profile.RecordInto(reg, "profile")
+	return reg
 }
 
 // RunQuery plans and executes one query cold (fresh clock and buffer
 // cache), returning its instrumented record.
 func RunQuery(db *storage.Database, q tpch.Query, prof vclock.DeviceProfile, noiseSeed int64, timeLimit float64) (*qpp.QueryRecord, error) {
+	rec, _, err := RunQueryTraced(db, q, prof, noiseSeed, timeLimit, false)
+	return rec, err
+}
+
+// RunQueryTraced is RunQuery with optional span tracing; when trace is
+// set, the returned trace holds one span per executed operator with its
+// exclusive I/O / CPU / numeric attribution. Tracing does not alter the
+// virtual clock, so the record is bit-identical either way.
+func RunQueryTraced(db *storage.Database, q tpch.Query, prof vclock.DeviceProfile, noiseSeed int64, timeLimit float64, trace bool) (*qpp.QueryRecord, *obs.Trace, error) {
 	node, err := opt.PlanSQL(db, q.SQL)
 	if err != nil {
-		return nil, fmt.Errorf("plan: %w", err)
+		return nil, nil, fmt.Errorf("plan: %w", err)
 	}
 	clock := vclock.NewClock(prof, noiseSeed)
-	res, err := exec.Run(db, node, clock, exec.Options{TimeLimit: timeLimit})
+	opts := exec.Options{TimeLimit: timeLimit}
+	var tr *obs.Trace
+	if trace {
+		tr = obs.NewTrace(clock)
+		opts.Trace = tr
+	}
+	res, err := exec.Run(db, node, clock, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	return &qpp.QueryRecord{
 		Template: q.Template,
 		SQL:      q.SQL,
 		Root:     node,
 		Time:     res.Elapsed,
-	}, nil
+	}, tr, nil
 }
 
 // FilterTemplates returns the records belonging to the given templates.

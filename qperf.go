@@ -24,6 +24,7 @@ import (
 
 	"qpp/internal/exec"
 	"qpp/internal/mlearn"
+	"qpp/internal/obs"
 	"qpp/internal/opt"
 	"qpp/internal/plan"
 	"qpp/internal/qpp"
@@ -100,6 +101,26 @@ func (e *Engine) Run(query string, seed int64) (*QueryResult, error) {
 		return nil, err
 	}
 	return &QueryResult{Rows: res.Rows, Plan: node, Elapsed: res.Elapsed}, nil
+}
+
+// RunTraced is Run with the obs layer attached: the returned trace holds
+// one span per executed operator (vclock window, inclusive busy time,
+// exclusive I/O / CPU / numeric attribution, cache and spill behaviour).
+// Tracing never writes to the clock, so the QueryResult is bit-identical
+// to an untraced Run with the same query and seed. Render the trace with
+// its Tree method or export it via obs.WriteChrome.
+func (e *Engine) RunTraced(query string, seed int64) (*QueryResult, *obs.Trace, error) {
+	node, err := e.Plan(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	clock := vclock.NewClock(e.profile, seed)
+	tr := obs.NewTrace(clock)
+	res, err := exec.Run(e.db, node, clock, exec.Options{Trace: tr})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &QueryResult{Rows: res.Rows, Plan: node, Elapsed: res.Elapsed}, tr, nil
 }
 
 // ExplainAnalyze runs the query and renders the plan with actual times.

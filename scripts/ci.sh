@@ -8,6 +8,8 @@
 #                    guarded fields, float equality, dropped errors);
 #                    see internal/analysis and DESIGN.md
 #   5. go test -race — the full suite under the race detector
+#   6. coverage    — statement coverage floor over the -short suite
+#   7. fuzz smoke  — 5s of FuzzParse on the SQL grammar
 #
 # The parallel execution layer (internal/parallel, workload builds, fold
 # training, figure drivers) is only trusted because stage 5 passes clean;
@@ -46,5 +48,24 @@ go run ./cmd/qpplint ./...
 
 banner "go test -race ./... $*"
 go test -race ./... "$@"
+
+# The floor is set a safe margin under the measured total (78.7% at the
+# time stage 6 was added) so flaky fractions of a percent don't fail CI,
+# while a real regression — a new subsystem landing untested — does.
+COVERAGE_FLOOR=70.0
+
+banner "coverage (floor ${COVERAGE_FLOOR}%)"
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+go test -short -coverprofile="$profile" ./... >/dev/null
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "total statement coverage: ${total}%"
+awk -v t="$total" -v f="$COVERAGE_FLOOR" 'BEGIN { exit !(t+0 >= f+0) }' || {
+	echo "coverage ${total}% fell below the ${COVERAGE_FLOOR}% floor"
+	exit 1
+}
+
+banner "fuzz smoke (FuzzParse, 5s)"
+go test -fuzz=FuzzParse -fuzztime=5s -run '^$' ./internal/sql
 
 banner "CI OK"
