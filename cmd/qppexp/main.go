@@ -32,6 +32,7 @@ import (
 	"qpp/internal/experiments"
 	"qpp/internal/obs"
 	"qpp/internal/parallel"
+	"qpp/internal/prof"
 	"qpp/internal/workload"
 )
 
@@ -45,7 +46,20 @@ func main() {
 	par := flag.Int("parallel", 0, "worker goroutines for execution and training (0 = GOMAXPROCS, 1 = serial)")
 	metricsOut := flag.String("metrics", "", "enable the obs layer and write the merged metrics registry dump to this file ('-' = stdout)")
 	traceOut := flag.String("trace", "", "enable the obs layer and write a Chrome trace_event JSON of every executed query to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	flag.Parse()
+
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		log.Fatalf("qppexp: %v", err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := prof.WriteHeap(*memProfile); err != nil {
+			log.Fatalf("qppexp: %v", err)
+		}
+	}()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 
 	"qpp"
+	"qpp/internal/prof"
 )
 
 func main() {
@@ -29,7 +30,20 @@ func main() {
 	load := flag.String("load", "", "directory to load materialized models from (skips training)")
 	strategy := flag.String("strategy", "error", "hybrid strategy: error, size, frequency")
 	par := flag.Int("parallel", 0, "worker goroutines for workload execution (0 = GOMAXPROCS, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	flag.Parse()
+
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		log.Fatalf("qpptrain: %v", err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := prof.WriteHeap(*memProfile); err != nil {
+			log.Fatalf("qpptrain: %v", err)
+		}
+	}()
 
 	var strat qperf.HybridStrategy
 	switch *strategy {
@@ -43,7 +57,6 @@ func main() {
 
 	var planModel *qperf.PlanLevelModel
 	var hybridModel *qperf.HybridModel
-	var err error
 
 	if *load != "" {
 		planModel, hybridModel, err = loadModels(*load)

@@ -98,6 +98,19 @@ func TestNondeterminismIgnoresNonCorePackages(t *testing.T) {
 	}
 }
 
+// The hotalloc fixture mirrors nondeterminism's two-load pattern: the
+// rule only watches the executor hot-path packages.
+func TestHotAllocRule(t *testing.T) {
+	checkFixture(t, "hotalloc", "hotalloc", "qpp/internal/exec")
+}
+
+func TestHotAllocIgnoresColdPackages(t *testing.T) {
+	pkg := loadFixture(t, "hotalloc", "example.com/hotalloc")
+	if findings := Check(pkg, []Rule{ruleByName(t, "hotalloc")}); len(findings) != 0 {
+		t.Fatalf("hotalloc fired outside the hot-path packages: %v", findings)
+	}
+}
+
 func TestMapOrderRule(t *testing.T) { checkFixture(t, "maporder", "maporder", "example.com/maporder") }
 func TestGuardedFieldRule(t *testing.T) {
 	checkFixture(t, "guardedfield", "guarded", "example.com/guarded")
@@ -113,6 +126,7 @@ func TestSuppressionComments(t *testing.T) {
 		rule, fixture, asPath string
 	}{
 		{"nondeterminism", "nondet", "qpp/internal/exec"},
+		{"hotalloc", "hotalloc", "qpp/internal/exec"},
 		{"maporder", "maporder", "example.com/maporder"},
 		{"guardedfield", "guarded", "example.com/guarded"},
 		{"floateq", "floateq", "example.com/floateq"},
@@ -140,7 +154,7 @@ func TestSuppressionComments(t *testing.T) {
 
 func TestRuleRegistry(t *testing.T) {
 	rules := Rules()
-	want := []string{"errdrop", "floateq", "guardedfield", "maporder", "nondeterminism"}
+	want := []string{"errdrop", "floateq", "guardedfield", "hotalloc", "maporder", "nondeterminism"}
 	var got []string
 	for _, r := range rules {
 		got = append(got, r.Name)

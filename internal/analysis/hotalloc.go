@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathPackages lists the packages whose loops are presumed per-row:
+// the executor iterates them once per tuple, so any string-building
+// allocation inside a loop multiplies by table cardinality. The
+// sanctioned pattern is rendering into a reused []byte buffer
+// (types.Value.AppendKey) and probing maps via m[string(buf)], which
+// the compiler keeps allocation-free.
+var HotPathPackages = []string{
+	"qpp/internal/exec",
+}
+
+// fmtAllocDeny is the allocating render surface of package fmt. Errorf
+// stays legal: error paths abort the query, so they are cold by
+// construction.
+var fmtAllocDeny = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+}
+
+// stringsAllocDeny lists strings functions that always allocate their
+// result. The pure scanners (Index, HasPrefix, EqualFold, ...) are
+// allocation-free and stay legal.
+var stringsAllocDeny = map[string]bool{
+	"Join":       true,
+	"Repeat":     true,
+	"Replace":    true,
+	"ReplaceAll": true,
+	"ToUpper":    true,
+	"ToLower":    true,
+}
+
+func init() {
+	register(Rule{
+		Name: "hotalloc",
+		Doc: "flag per-row allocation patterns inside loops of the executor " +
+			"hot-path packages — fmt.Sprintf/Sprint/Sprintln, allocating " +
+			"strings helpers (Join, Repeat, ...), strings.Builder writes, and " +
+			"string concatenation; render into a reused []byte buffer " +
+			"(types.Value.AppendKey) and probe maps with m[string(buf)] instead",
+		Run: runHotAlloc,
+	})
+}
+
+func isHotPathPackage(path string) bool {
+	for _, p := range HotPathPackages {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) {
+	// Test files are exempt: benchmarks and test helpers legitimately
+	// format strings per iteration.
+	if !isHotPathPackage(pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				body = l.Body
+			case *ast.RangeStmt:
+				body = l.Body
+			default:
+				return true
+			}
+			checkHotLoopBody(pass, body)
+			// The body walk above already covered nested loops; descending
+			// here would double-report them.
+			return false
+		})
+	}
+}
+
+// checkHotLoopBody walks one outermost loop body (nested loops included)
+// and reports every allocation pattern the executor must not pay per
+// row.
+func checkHotLoopBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	// A string a+b+c chain parses as ((a+b)+c); reporting every nested
+	// BinaryExpr would triple-flag one expression, so inner adds of an
+	// already-reported chain are skipped.
+	reportedChain := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, x)
+		case *ast.BinaryExpr:
+			if x.Op != token.ADD || reportedChain[x] || !isStringType(info.TypeOf(x)) {
+				return true
+			}
+			// Constant-folded concatenations ("a" + "b") cost nothing at
+			// run time.
+			if tv, ok := info.Types[x]; ok && tv.Value != nil {
+				return true
+			}
+			pass.Reportf(x.Pos(),
+				"string concatenation inside an executor loop allocates per row; append into a reused []byte buffer (Value.AppendKey) instead")
+			markNestedAdds(x, reportedChain)
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringType(info.TypeOf(x.Lhs[0])) {
+				pass.Reportf(x.Pos(),
+					"string += inside an executor loop reallocates the accumulator per row; append into a reused []byte buffer instead")
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	info := pass.Pkg.Info
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkgName, ok := info.Uses[id].(*types.PkgName); ok {
+			name := sel.Sel.Name
+			switch pkgName.Imported().Path() {
+			case "fmt":
+				if fmtAllocDeny[name] {
+					pass.Reportf(call.Pos(),
+						"fmt.%s allocates per row inside an executor loop; render into a reused []byte buffer (Value.AppendKey) instead", name)
+				}
+			case "strings":
+				if stringsAllocDeny[name] {
+					pass.Reportf(call.Pos(),
+						"strings.%s allocates its result per row inside an executor loop; render into a reused []byte buffer instead", name)
+				}
+			}
+			return
+		}
+	}
+	if isStringsBuilderRecv(info, sel.X) {
+		pass.Reportf(call.Pos(),
+			"strings.Builder use inside an executor loop allocates per row; reuse a []byte buffer across rows instead")
+	}
+}
+
+// isStringsBuilderRecv reports whether the expression's type is
+// strings.Builder (or a pointer to it).
+func isStringsBuilderRecv(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "strings" && obj.Name() == "Builder"
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// markNestedAdds marks every + under e as part of an already-reported
+// concatenation chain.
+func markNestedAdds(e ast.Expr, seen map[ast.Expr]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok && b.Op == token.ADD {
+			seen[b] = true
+		}
+		return true
+	})
+}

@@ -1,0 +1,115 @@
+// Package hotalloc exercises the hotalloc rule. The harness loads it
+// once under the executor import path (findings expected) and once
+// under a neutral path (no findings).
+package hotalloc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GroupKeys is the per-row pattern the rule exists to kill: rendering a
+// composite key with allocating string helpers inside the drain loop.
+func GroupKeys(rows [][]string) map[string]int {
+	groups := map[string]int{}
+	for _, row := range rows {
+		key := strings.Join(row, "\x00") // want `strings\.Join allocates its result per row`
+		groups[key]++
+	}
+	return groups
+}
+
+// FormatPerRow formats a label per tuple.
+func FormatPerRow(ids []int) []string {
+	var out []string
+	for _, id := range ids {
+		out = append(out, fmt.Sprintf("row-%d", id)) // want `fmt\.Sprintf allocates per row`
+	}
+	return out
+}
+
+// ConcatPerRow builds keys with + and +=, both reallocating per row.
+func ConcatPerRow(names []string) string {
+	var acc string
+	for _, n := range names {
+		key := "k:" + n + ":v" // want `string concatenation inside an executor loop`
+		acc += key             // want `string \+= inside an executor loop`
+	}
+	return acc
+}
+
+// BuilderPerRow spins up a strings.Builder per tuple.
+func BuilderPerRow(names []string) []string {
+	var out []string
+	for _, n := range names {
+		var b strings.Builder
+		b.WriteString("name=")        // want `strings\.Builder use inside an executor loop`
+		b.WriteString(n)              // want `strings\.Builder use inside an executor loop`
+		out = append(out, b.String()) // want `strings\.Builder use inside an executor loop`
+	}
+	return out
+}
+
+// NestedLoops must be flagged exactly once per offending line even
+// though the inner loop body is reachable from two loop walks.
+func NestedLoops(batches [][]int) []string {
+	var out []string
+	for _, batch := range batches {
+		for _, id := range batch {
+			out = append(out, fmt.Sprint(id)) // want `fmt\.Sprint allocates per row`
+		}
+	}
+	return out
+}
+
+// AppendKeyStyle is the sanctioned pattern: one reused byte buffer,
+// alloc-free scanners, and map probes through string(buf).
+func AppendKeyStyle(rows [][]string) map[string]int {
+	groups := map[string]int{}
+	var buf []byte
+	for _, row := range rows {
+		buf = buf[:0]
+		for i, col := range row {
+			if i > 0 {
+				buf = append(buf, 0)
+			}
+			buf = append(buf, col...)
+		}
+		if strings.HasPrefix(string(buf), "skip") { // conversion for a scan, not a build
+			continue
+		}
+		groups[string(buf)]++ // map index conversion does not allocate
+	}
+	return groups
+}
+
+// ColdPaths may format freely: error construction aborts the query, and
+// code outside loops runs once per operator, not once per row.
+func ColdPaths(rows [][]string) (string, error) {
+	header := fmt.Sprintf("cols=%d", len(rows)) // outside a loop: legal
+	for _, row := range rows {
+		if len(row) == 0 {
+			return "", fmt.Errorf("empty row after %s", header) // Errorf is cold by construction
+		}
+	}
+	return header, nil
+}
+
+// FoldedConcat uses concatenation the compiler folds at build time.
+func FoldedConcat(n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		out = append(out, "a"+"b") // constant-folded: legal
+	}
+	return out
+}
+
+// Suppressed documents a deliberate per-row format in a debug helper.
+func Suppressed(ids []int) []string {
+	var out []string
+	for _, id := range ids {
+		//qpplint:ignore hotalloc fixture: debug dump, never on the query path
+		out = append(out, fmt.Sprintf("debug-%d", id))
+	}
+	return out
+}

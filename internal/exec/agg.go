@@ -1,40 +1,36 @@
 package exec
 
 import (
-	"strings"
+	"bytes"
 
 	"qpp/internal/plan"
 	"qpp/internal/types"
 )
 
-// aggState accumulates one aggregate function over a group.
+// aggState accumulates one aggregate function over a group. The argument
+// expression is compiled once per execution (arg/argCost live in the
+// aggregate's state template and are copied into every group's states).
 type aggState struct {
-	spec    plan.AggSpec
-	count   int64
-	sum     float64
-	sumIsI  bool
-	sumI    int64
-	minMax  types.Value
-	seenAny bool
-	seen    map[string]bool // for DISTINCT aggregates
-}
-
-func newAggStates(specs []plan.AggSpec) []aggState {
-	out := make([]aggState, len(specs))
-	for i, s := range specs {
-		out[i] = aggState{spec: s, sumIsI: s.Arg != nil && s.Arg.Kind() == types.KindInt}
-	}
-	return out
+	spec       plan.AggSpec
+	arg        evalFn
+	argCost    plan.ExprCost
+	count      int64
+	sum        float64
+	sumIsI     bool
+	sumI       int64
+	minMax     types.Value
+	seenAny    bool
+	seen       map[string]bool // for DISTINCT aggregates
+	keyScratch []byte          // reused DISTINCT key buffer
 }
 
 func (a *aggState) update(ctx *execCtx, row plan.Row) {
-	if a.spec.Arg == nil { // count(*)
+	if a.arg == nil { // count(*)
 		a.count++
 		return
 	}
-	c := a.spec.Arg.Cost()
-	ctx.clock.CPUOps(c.Ops, c.NumericOps)
-	v := a.spec.Arg.Eval(ctx.ectx, row)
+	ctx.clock.CPUOps(a.argCost.Ops, a.argCost.NumericOps)
+	v := a.arg(ctx.ectx, row)
 	if v.IsNull() {
 		return
 	}
@@ -42,11 +38,11 @@ func (a *aggState) update(ctx *execCtx, row plan.Row) {
 		if a.seen == nil {
 			a.seen = map[string]bool{}
 		}
-		key := v.Key()
-		if a.seen[key] {
+		a.keyScratch = v.AppendKey(a.keyScratch[:0])
+		if a.seen[string(a.keyScratch)] {
 			return
 		}
-		a.seen[key] = true
+		a.seen[string(a.keyScratch)] = true
 		ctx.clock.HashOps(1)
 	}
 	a.count++
@@ -115,26 +111,46 @@ type aggregate struct {
 
 	results    []plan.Row
 	pos        int
-	filterCost plan.ExprCost
+	having     compiledFilter
+	groupFns   []evalFn
 	groupCosts plan.ExprCost
+	stateTmpl  []aggState // per-execution template with compiled arguments
+	keyBuf     []byte     // reused rendered group key for the current row
+	valBuf     []types.Value
 	drained    bool
 }
 
 // Open implements iterator.
 func (a *aggregate) Open(ctx *execCtx) error {
-	if a.node.Filter != nil {
-		a.filterCost = a.node.Filter.Cost()
-	}
+	a.having = ctx.compileFilter(a.node.Filter)
+	a.groupFns = ctx.compileScalars(a.node.GroupBy)
+	a.groupCosts = plan.ExprCost{}
 	for _, g := range a.node.GroupBy {
 		a.groupCosts = plan.ExprCost{
 			Ops:        a.groupCosts.Ops + g.Cost().Ops,
 			NumericOps: a.groupCosts.NumericOps + g.Cost().NumericOps,
 		}
 	}
+	a.stateTmpl = make([]aggState, len(a.node.Aggs))
+	for i, s := range a.node.Aggs {
+		st := aggState{spec: s, sumIsI: s.Arg != nil && s.Arg.Kind() == types.KindInt}
+		if s.Arg != nil {
+			st.arg = ctx.compileScalar(s.Arg)
+			st.argCost = s.Arg.Cost()
+		}
+		a.stateTmpl[i] = st
+	}
 	a.results = nil
 	a.pos = 0
 	a.drained = false
 	return a.child.Open(ctx)
+}
+
+// newStates copies the compiled template into a fresh group accumulator.
+func (a *aggregate) newStates() []aggState {
+	out := make([]aggState, len(a.stateTmpl))
+	copy(out, a.stateTmpl)
+	return out
 }
 
 func (a *aggregate) drain(ctx *execCtx) error {
@@ -147,18 +163,35 @@ func (a *aggregate) drain(ctx *execCtx) error {
 	}
 }
 
-func (a *aggregate) groupKeyVals(ctx *execCtx, row plan.Row) ([]types.Value, string) {
-	vals := make([]types.Value, len(a.node.GroupBy))
-	var sb strings.Builder
+// groupKey evaluates the group-by expressions for row into a.valBuf and
+// renders their composite key into a.keyBuf. Both buffers are reused
+// across rows; callers copy them out only when a new group is created.
+func (a *aggregate) groupKey(ctx *execCtx, row plan.Row) {
 	ctx.clock.CPUOps(a.groupCosts.Ops, a.groupCosts.NumericOps)
-	for i, g := range a.node.GroupBy {
-		vals[i] = g.Eval(ctx.ectx, row)
+	a.keyBuf = a.keyBuf[:0]
+	a.valBuf = a.valBuf[:0]
+	for i, g := range a.groupFns {
+		v := g(ctx.ectx, row)
+		a.valBuf = append(a.valBuf, v)
 		if i > 0 {
-			sb.WriteByte(0)
+			a.keyBuf = append(a.keyBuf, 0)
 		}
-		sb.WriteString(vals[i].Key())
+		a.keyBuf = v.AppendKey(a.keyBuf)
 	}
-	return vals, sb.String()
+}
+
+// groupHint sizes the group hash table from the optimizer's output
+// cardinality estimate, clamped to keep a wild estimate from reserving
+// unbounded memory.
+func (a *aggregate) groupHint() int {
+	est := int(a.node.Est.Rows)
+	if est < 1 {
+		est = 1
+	}
+	if est > 1<<16 {
+		est = 1 << 16
+	}
+	return est
 }
 
 func (a *aggregate) drainHashed(ctx *execCtx) error {
@@ -166,7 +199,7 @@ func (a *aggregate) drainHashed(ctx *execCtx) error {
 		keys   []types.Value
 		states []aggState
 	}
-	groups := map[string]*group{}
+	groups := make(map[string]*group, a.groupHint())
 	var order []string // deterministic output order: first appearance
 	for {
 		row, ok, err := a.child.Next(ctx)
@@ -180,19 +213,21 @@ func (a *aggregate) drainHashed(ctx *execCtx) error {
 		var g *group
 		if len(a.node.GroupBy) == 0 {
 			if len(groups) == 0 {
-				g = &group{states: newAggStates(a.node.Aggs)}
+				g = &group{states: a.newStates()}
 				groups[""] = g
 				order = append(order, "")
 			} else {
 				g = groups[""]
 			}
 		} else {
-			keys, key := a.groupKeyVals(ctx, row)
+			a.groupKey(ctx, row)
 			ctx.clock.HashOps(1)
 			var ok bool
-			g, ok = groups[key]
+			g, ok = groups[string(a.keyBuf)] // no-alloc probe with reused buffer
 			if !ok {
-				g = &group{keys: keys, states: newAggStates(a.node.Aggs)}
+				key := string(a.keyBuf)
+				keys := append([]types.Value(nil), a.valBuf...)
+				g = &group{keys: keys, states: a.newStates()}
 				groups[key] = g
 				order = append(order, key)
 			}
@@ -203,7 +238,7 @@ func (a *aggregate) drainHashed(ctx *execCtx) error {
 	}
 	// A query with no GROUP BY emits exactly one row even on empty input.
 	if len(a.node.GroupBy) == 0 && len(groups) == 0 {
-		groups[""] = &group{states: newAggStates(a.node.Aggs)}
+		groups[""] = &group{states: a.newStates()}
 		order = append(order, "")
 	}
 	// Spill accounting when the group table exceeds work_mem. Cells are
@@ -228,7 +263,7 @@ func (a *aggregate) drainHashed(ctx *execCtx) error {
 }
 
 func (a *aggregate) drainSorted(ctx *execCtx) error {
-	var curKey string
+	var curKey []byte
 	var curKeys []types.Value
 	var states []aggState
 	started := false
@@ -241,13 +276,14 @@ func (a *aggregate) drainSorted(ctx *execCtx) error {
 			break
 		}
 		ctx.clock.CPUTuples(1)
-		keys, key := a.groupKeyVals(ctx, row)
-		if !started || key != curKey {
+		a.groupKey(ctx, row)
+		if !started || !bytes.Equal(a.keyBuf, curKey) {
 			if started {
 				a.emit(ctx, curKeys, states)
 			}
-			curKey, curKeys = key, keys
-			states = newAggStates(a.node.Aggs)
+			curKey = append(curKey[:0], a.keyBuf...)
+			curKeys = append([]types.Value(nil), a.valBuf...)
+			states = a.newStates()
 			started = true
 		}
 		for i := range states {
@@ -257,7 +293,7 @@ func (a *aggregate) drainSorted(ctx *execCtx) error {
 	if started {
 		a.emit(ctx, curKeys, states)
 	} else if len(a.node.GroupBy) == 0 {
-		a.emit(ctx, nil, newAggStates(a.node.Aggs))
+		a.emit(ctx, nil, a.newStates())
 	}
 	ctx.clock.Barrier()
 	return nil
@@ -269,7 +305,7 @@ func (a *aggregate) emit(ctx *execCtx, keys []types.Value, states []aggState) {
 	for i := range states {
 		out = append(out, states[i].result())
 	}
-	if evalFilter(ctx, a.node.Filter, a.filterCost, out) {
+	if a.having.eval(ctx, out) {
 		a.results = append(a.results, out)
 	}
 }

@@ -40,6 +40,12 @@ type Options struct {
 	// never writes to the clock, so traced and untraced runs charge
 	// identical virtual times.
 	Trace *obs.Trace
+	// Interpret disables expression compilation and evaluates every scalar
+	// through the tree-walking Scalar.Eval interpreter. Compiled and
+	// interpreted execution produce identical rows and identical virtual
+	// times; this escape hatch exists for the differential tests and as a
+	// debugging aid.
+	Interpret bool
 }
 
 // Result is the outcome of a query execution.
@@ -56,6 +62,10 @@ type execCtx struct {
 	ectx  *plan.Ctx
 	limit float64
 	trace *obs.Trace
+	// compiled caches one closure per Scalar node for this execution, so
+	// sub-plans — whose iterator trees are rebuilt per invocation — compile
+	// each expression once. Nil when Options.Interpret is set.
+	compiled map[plan.Scalar]evalFn
 }
 
 func (c *execCtx) overTime() bool {
@@ -83,6 +93,9 @@ func Run(db *storage.Database, root *plan.Node, clock *vclock.Clock, opts Option
 
 	ectx := &plan.Ctx{Params: make([]types.Value, root.NumParams)}
 	ctx := &execCtx{db: db, clock: clock, ectx: ectx, limit: opts.TimeLimit, trace: opts.Trace}
+	if !opts.Interpret {
+		ctx.compiled = make(map[plan.Scalar]evalFn)
+	}
 
 	// Correlated sub-plans are (re)executed on demand through this hook.
 	ectx.RunSubPlan = func(idx int, args []types.Value) (types.Value, error) {
@@ -105,7 +118,7 @@ func Run(db *storage.Database, root *plan.Node, clock *vclock.Clock, opts Option
 		ectx.Params[root.InitPlanSlots[i]] = v
 	}
 
-	it, err := build(ctx, root)
+	it, err := build(ctx, root, false)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +147,8 @@ func Run(db *storage.Database, root *plan.Node, clock *vclock.Clock, opts Option
 // scalar output (NULL when it yields no rows). Instrumentation on the
 // sub-plan's nodes accumulates across invocations.
 func runScalarPlan(ctx *execCtx, p *plan.Node) (types.Value, error) {
-	it, err := build(ctx, p)
+	// reuse stays false: the first row is held across the drain loop below.
+	it, err := build(ctx, p, false)
 	if err != nil {
 		return types.Null, err
 	}
@@ -167,8 +181,12 @@ func runScalarPlan(ctx *execCtx, p *plan.Node) (types.Value, error) {
 }
 
 // build constructs the iterator tree for a plan node, wrapping every
-// operator in instrumentation.
-func build(ctx *execCtx, n *plan.Node) (iterator, error) {
+// operator in instrumentation. reuse tells the operator that its parent
+// never retains an emitted row past the next call, so operators that
+// allocate output rows (projections, joins) may overwrite one buffer in
+// place. It is false at every root: Run and runScalarPlan both hold rows
+// after the producing Next returns.
+func build(ctx *execCtx, n *plan.Node, reuse bool) (iterator, error) {
 	var inner iterator
 	switch n.Op {
 	case plan.OpSeqScan:
@@ -188,67 +206,76 @@ func build(ctx *execCtx, n *plan.Node) (iterator, error) {
 		}
 		inner = &indexScan{node: n, table: t, index: idx}
 	case plan.OpResult, plan.OpSubqueryScan:
-		child, err := build(ctx, n.Children[0])
+		// A projecting node reads each child row exactly once; a pure filter
+		// forwards the child's rows, so the parent's retention applies.
+		childReuse := len(n.Projs) > 0 || reuse
+		child, err := build(ctx, n.Children[0], childReuse)
 		if err != nil {
 			return nil, err
 		}
-		inner = &project{node: n, child: child}
+		inner = &project{node: n, child: child, reuse: reuse}
 	case plan.OpLimit:
-		child, err := build(ctx, n.Children[0])
+		child, err := build(ctx, n.Children[0], reuse)
 		if err != nil {
 			return nil, err
 		}
 		inner = &limit{node: n, child: child}
 	case plan.OpSort:
-		child, err := build(ctx, n.Children[0])
+		child, err := build(ctx, n.Children[0], false) // buffers its input
 		if err != nil {
 			return nil, err
 		}
 		inner = &sortOp{node: n, child: child}
 	case plan.OpMaterialize:
-		child, err := build(ctx, n.Children[0])
+		child, err := build(ctx, n.Children[0], false) // caches its input
 		if err != nil {
 			return nil, err
 		}
 		inner = &materialize{node: n, child: child}
 	case plan.OpHash:
-		child, err := build(ctx, n.Children[0])
+		child, err := build(ctx, n.Children[0], reuse)
 		if err != nil {
 			return nil, err
 		}
 		inner = &passthrough{node: n, child: child}
 	case plan.OpHashJoin, plan.OpHashSemiJoin, plan.OpHashAntiJoin:
-		left, err := build(ctx, n.Children[0])
+		// Probe rows are held while their matches drain; build rows live in
+		// the hash table.
+		left, err := build(ctx, n.Children[0], false)
 		if err != nil {
 			return nil, err
 		}
-		right, err := build(ctx, n.Children[1])
+		right, err := build(ctx, n.Children[1], false)
 		if err != nil {
 			return nil, err
 		}
-		inner = &hashJoin{node: n, left: left, right: right}
+		inner = &hashJoin{node: n, left: left, right: right, reuse: reuse}
 	case plan.OpMergeJoin:
-		left, err := build(ctx, n.Children[0])
+		// The current left row and the buffered right group both persist
+		// across Next calls.
+		left, err := build(ctx, n.Children[0], false)
 		if err != nil {
 			return nil, err
 		}
-		right, err := build(ctx, n.Children[1])
+		right, err := build(ctx, n.Children[1], false)
 		if err != nil {
 			return nil, err
 		}
-		inner = &mergeJoin{node: n, left: left, right: right}
+		inner = &mergeJoin{node: n, left: left, right: right, reuse: reuse}
 	case plan.OpNestedLoop:
-		left, err := build(ctx, n.Children[0])
+		// The outer row is held across the inner scan; inner rows are
+		// consumed immediately by the concat.
+		left, err := build(ctx, n.Children[0], false)
 		if err != nil {
 			return nil, err
 		}
-		right, err := build(ctx, n.Children[1])
+		right, err := build(ctx, n.Children[1], true)
 		if err != nil {
 			return nil, err
 		}
-		inner = &nestedLoop{node: n, outer: left, inner: right}
+		inner = &nestedLoop{node: n, outer: left, inner: right, reuse: reuse}
 	case plan.OpHashAggregate, plan.OpGroupAgg, plan.OpAggregate:
-		child, err := build(ctx, n.Children[0])
+		child, err := build(ctx, n.Children[0], true) // rows only accumulated
 		if err != nil {
 			return nil, err
 		}
@@ -347,15 +374,6 @@ func (w *instrumented) ReScan(ctx *execCtx, outer plan.Row) error {
 
 // Close implements iterator.
 func (w *instrumented) Close() { w.inner.Close() }
-
-// evalFilter applies a node's filter expression, charging its CPU cost.
-func evalFilter(ctx *execCtx, f plan.Scalar, cost plan.ExprCost, row plan.Row) bool {
-	if f == nil {
-		return true
-	}
-	ctx.clock.CPUOps(cost.Ops, cost.NumericOps)
-	return f.Eval(ctx.ectx, row).IsTrue()
-}
 
 // passthrough forwards its child unchanged; it exists so Hash nodes show
 // up in instrumentation the way PostgreSQL displays them.

@@ -1,27 +1,39 @@
 package exec
 
 import (
-	"strings"
-
 	"qpp/internal/plan"
 	"qpp/internal/types"
 )
 
-// joinKey renders the hash-key values of a row into a map key; a null in
-// any key column yields ok=false (nulls never join).
-func joinKey(ctx *execCtx, exprs []plan.Scalar, row plan.Row) (string, bool) {
-	var sb strings.Builder
-	for i, e := range exprs {
-		v := e.Eval(ctx.ectx, row)
+// appendJoinKey renders the hash-key values of a row into buf (reused by
+// the caller across rows); a null in any key column yields ok=false
+// (nulls never join).
+func appendJoinKey(ctx *execCtx, fns []evalFn, row plan.Row, buf []byte) ([]byte, bool) {
+	buf = buf[:0]
+	for i, fn := range fns {
+		v := fn(ctx.ectx, row)
 		if v.IsNull() {
-			return "", false
+			return buf, false
 		}
 		if i > 0 {
-			sb.WriteByte(0)
+			buf = append(buf, 0)
 		}
-		sb.WriteString(v.Key())
+		buf = v.AppendKey(buf)
 	}
-	return sb.String(), true
+	return buf, true
+}
+
+// concatInto overwrites dst with a followed by b, reusing dst's backing
+// array when it has capacity. Joins keep one scratch row and drop it
+// (forcing a fresh allocation) whenever a concatenated row escapes to a
+// parent that retains rows.
+func concatInto(dst, a, b plan.Row) plan.Row {
+	n := len(a) + len(b)
+	if cap(dst) < n {
+		dst = make(plan.Row, 0, n) // one exact-size array, not two append growths
+	}
+	dst = append(dst[:0], a...)
+	return append(dst, b...)
 }
 
 // hashJoin implements inner, left-outer, semi, and anti hash joins. The
@@ -30,6 +42,7 @@ type hashJoin struct {
 	node  *plan.Node
 	left  iterator
 	right iterator
+	reuse bool // parent never retains emitted rows
 
 	table      map[string][]plan.Row
 	built      bool
@@ -37,20 +50,22 @@ type hashJoin struct {
 	cur        plan.Row // current left row with pending matches
 	curMatches []plan.Row
 	curIdx     int
-	filterCost plan.ExprCost
-	joinCost   plan.ExprCost
+	keysL      []evalFn
+	keysR      []evalFn
+	filter     compiledFilter
+	joinF      compiledFilter
+	keyBuf     []byte   // reused rendered-key buffer
+	scratch    plan.Row // reused output row
 	buildRows  float64
 	buildBytes float64
 }
 
 // Open implements iterator.
 func (h *hashJoin) Open(ctx *execCtx) error {
-	if h.node.Filter != nil {
-		h.filterCost = h.node.Filter.Cost()
-	}
-	if h.node.JoinFilter != nil {
-		h.joinCost = h.node.JoinFilter.Cost()
-	}
+	h.filter = ctx.compileFilter(h.node.Filter)
+	h.joinF = ctx.compileFilter(h.node.JoinFilter)
+	h.keysL = ctx.compileScalars(h.node.HashKeysL)
+	h.keysR = ctx.compileScalars(h.node.HashKeysR)
 	h.nullRight = make(plan.Row, len(h.node.Children[1].Cols))
 	for i := range h.nullRight {
 		h.nullRight[i] = types.Null
@@ -61,8 +76,21 @@ func (h *hashJoin) Open(ctx *execCtx) error {
 	return h.build(ctx)
 }
 
+// buildHint sizes the hash table from the build side's cardinality
+// estimate, clamped against wild estimates.
+func (h *hashJoin) buildHint() int {
+	est := int(h.node.Children[1].Est.Rows)
+	if est < 1 {
+		est = 1
+	}
+	if est > 1<<16 {
+		est = 1 << 16
+	}
+	return est
+}
+
 func (h *hashJoin) build(ctx *execCtx) error {
-	h.table = make(map[string][]plan.Row)
+	h.table = make(map[string][]plan.Row, h.buildHint())
 	h.built = true
 	h.buildRows, h.buildBytes = 0, 0
 	if err := h.right.Open(ctx); err != nil {
@@ -76,12 +104,14 @@ func (h *hashJoin) build(ctx *execCtx) error {
 		if !ok {
 			break
 		}
-		key, ok := joinKey(ctx, h.node.HashKeysR, row)
-		if !ok {
+		var hasKey bool
+		h.keyBuf, hasKey = appendJoinKey(ctx, h.keysR, row, h.keyBuf)
+		if !hasKey {
 			continue
 		}
 		ctx.clock.HashOps(1)
-		h.table[key] = append(h.table[key], row)
+		bucket := h.table[string(h.keyBuf)] // no-alloc probe
+		h.table[string(h.keyBuf)] = append(bucket, row)
 		h.buildRows++
 		for _, v := range row {
 			h.buildBytes += float64(v.Width())
@@ -99,6 +129,18 @@ func (h *hashJoin) build(ctx *execCtx) error {
 	return nil
 }
 
+// emitScratch hands the scratch-backed row out to the parent; when the
+// parent retains rows, the scratch is dropped so the next concat
+// allocates a fresh backing array.
+func (h *hashJoin) emitScratch(out plan.Row) plan.Row {
+	if h.reuse {
+		h.scratch = out
+	} else {
+		h.scratch = nil
+	}
+	return out
+}
+
 // Next implements iterator.
 func (h *hashJoin) Next(ctx *execCtx) (plan.Row, bool, error) {
 	for {
@@ -107,12 +149,13 @@ func (h *hashJoin) Next(ctx *execCtx) (plan.Row, bool, error) {
 		for h.cur != nil && h.curIdx < len(h.curMatches) {
 			right := h.curMatches[h.curIdx]
 			h.curIdx++
-			out := concatRows(h.cur, right)
+			out := concatInto(h.scratch, h.cur, right)
+			h.scratch = out
 			ctx.clock.CPUTuples(1)
-			if !evalFilter(ctx, h.node.Filter, h.filterCost, out) {
+			if !h.filter.eval(ctx, out) {
 				continue
 			}
-			return out, true, nil
+			return h.emitScratch(out), true, nil
 		}
 		h.cur = nil
 
@@ -124,17 +167,19 @@ func (h *hashJoin) Next(ctx *execCtx) (plan.Row, bool, error) {
 			return nil, false, nil
 		}
 		ctx.clock.HashOps(1)
-		key, hasKey := joinKey(ctx, h.node.HashKeysL, left)
+		var hasKey bool
+		h.keyBuf, hasKey = appendJoinKey(ctx, h.keysL, left, h.keyBuf)
 		var matches []plan.Row
 		if hasKey {
-			matches = h.table[key]
+			matches = h.table[string(h.keyBuf)] // no-alloc probe
 		}
 		// Apply the join filter for semi/anti/left semantics before deciding
 		// match existence.
 		if h.node.JoinFilter != nil && len(matches) > 0 {
 			var kept []plan.Row
 			for _, r := range matches {
-				if evalFilter(ctx, h.node.JoinFilter, h.joinCost, concatRows(left, r)) {
+				h.scratch = concatInto(h.scratch, left, r)
+				if h.joinF.eval(ctx, h.scratch) {
 					kept = append(kept, r)
 				}
 			}
@@ -144,23 +189,24 @@ func (h *hashJoin) Next(ctx *execCtx) (plan.Row, bool, error) {
 		case plan.JoinSemi:
 			if len(matches) > 0 {
 				ctx.clock.CPUTuples(1)
-				if evalFilter(ctx, h.node.Filter, h.filterCost, left) {
+				if h.filter.eval(ctx, left) {
 					return left, true, nil
 				}
 			}
 		case plan.JoinAnti:
 			if len(matches) == 0 {
 				ctx.clock.CPUTuples(1)
-				if evalFilter(ctx, h.node.Filter, h.filterCost, left) {
+				if h.filter.eval(ctx, left) {
 					return left, true, nil
 				}
 			}
 		case plan.JoinLeft:
 			if len(matches) == 0 {
-				out := concatRows(left, h.nullRight)
+				out := concatInto(h.scratch, left, h.nullRight)
+				h.scratch = out
 				ctx.clock.CPUTuples(1)
-				if evalFilter(ctx, h.node.Filter, h.filterCost, out) {
-					return out, true, nil
+				if h.filter.eval(ctx, out) {
+					return h.emitScratch(out), true, nil
 				}
 				continue
 			}
@@ -198,22 +244,20 @@ type nestedLoop struct {
 	node       *plan.Node
 	outer      iterator
 	inner      iterator
+	reuse      bool
 	curOuter   plan.Row
 	innerValid bool
 	matched    bool
 	nullInner  plan.Row
-	joinCost   plan.ExprCost
-	filterCost plan.ExprCost
+	joinF      compiledFilter
+	filter     compiledFilter
+	scratch    plan.Row
 }
 
 // Open implements iterator.
 func (n *nestedLoop) Open(ctx *execCtx) error {
-	if n.node.JoinFilter != nil {
-		n.joinCost = n.node.JoinFilter.Cost()
-	}
-	if n.node.Filter != nil {
-		n.filterCost = n.node.Filter.Cost()
-	}
+	n.joinF = ctx.compileFilter(n.node.JoinFilter)
+	n.filter = ctx.compileFilter(n.node.Filter)
 	n.nullInner = make(plan.Row, len(n.node.Children[1].Cols))
 	for i := range n.nullInner {
 		n.nullInner[i] = types.Null
@@ -224,6 +268,15 @@ func (n *nestedLoop) Open(ctx *execCtx) error {
 		return err
 	}
 	return n.inner.Open(ctx)
+}
+
+func (n *nestedLoop) emitScratch(out plan.Row) plan.Row {
+	if n.reuse {
+		n.scratch = out
+	} else {
+		n.scratch = nil
+	}
+	return out
 }
 
 // Next implements iterator.
@@ -256,24 +309,26 @@ func (n *nestedLoop) Next(ctx *execCtx) (plan.Row, bool, error) {
 			case plan.JoinAnti:
 				if !wasMatched {
 					ctx.clock.CPUTuples(1)
-					if evalFilter(ctx, n.node.Filter, n.filterCost, outerRow) {
+					if n.filter.eval(ctx, outerRow) {
 						return outerRow, true, nil
 					}
 				}
 			case plan.JoinLeft:
 				if !wasMatched {
-					out := concatRows(outerRow, n.nullInner)
+					out := concatInto(n.scratch, outerRow, n.nullInner)
+					n.scratch = out
 					ctx.clock.CPUTuples(1)
-					if evalFilter(ctx, n.node.Filter, n.filterCost, out) {
-						return out, true, nil
+					if n.filter.eval(ctx, out) {
+						return n.emitScratch(out), true, nil
 					}
 				}
 			}
 			continue
 		}
-		out := concatRows(n.curOuter, inner)
+		out := concatInto(n.scratch, n.curOuter, inner)
+		n.scratch = out
 		ctx.clock.CPUTuples(1)
-		if n.node.JoinFilter != nil && !evalFilter(ctx, n.node.JoinFilter, n.joinCost, out) {
+		if n.node.JoinFilter != nil && !n.joinF.eval(ctx, out) {
 			continue
 		}
 		n.matched = true
@@ -281,14 +336,14 @@ func (n *nestedLoop) Next(ctx *execCtx) (plan.Row, bool, error) {
 		case plan.JoinSemi:
 			outerRow := n.curOuter
 			n.curOuter = nil // advance after first match
-			if evalFilter(ctx, n.node.Filter, n.filterCost, outerRow) {
+			if n.filter.eval(ctx, outerRow) {
 				return outerRow, true, nil
 			}
 		case plan.JoinAnti:
 			n.curOuter = nil // disqualified; next outer row
 		default:
-			if evalFilter(ctx, n.node.Filter, n.filterCost, out) {
-				return out, true, nil
+			if n.filter.eval(ctx, out) {
+				return n.emitScratch(out), true, nil
 			}
 		}
 	}
@@ -312,25 +367,23 @@ type mergeJoin struct {
 	node  *plan.Node
 	left  iterator
 	right iterator
+	reuse bool
 
-	leftRow    plan.Row
-	leftOK     bool
-	rightRows  []plan.Row // buffered right group with equal key
-	rightNext  plan.Row
-	rightOK    bool
-	groupIdx   int
-	filterCost plan.ExprCost
-	joinCost   plan.ExprCost
+	leftRow   plan.Row
+	leftOK    bool
+	rightRows []plan.Row // buffered right group with equal key
+	rightNext plan.Row
+	rightOK   bool
+	groupIdx  int
+	filter    compiledFilter
+	joinF     compiledFilter
+	scratch   plan.Row
 }
 
 // Open implements iterator.
 func (m *mergeJoin) Open(ctx *execCtx) error {
-	if m.node.Filter != nil {
-		m.filterCost = m.node.Filter.Cost()
-	}
-	if m.node.JoinFilter != nil {
-		m.joinCost = m.node.JoinFilter.Cost()
-	}
+	m.filter = ctx.compileFilter(m.node.Filter)
+	m.joinF = ctx.compileFilter(m.node.JoinFilter)
 	if err := m.left.Open(ctx); err != nil {
 		return err
 	}
@@ -369,6 +422,15 @@ func (m *mergeJoin) cmpKeys(a, b plan.Row) int {
 	return 0
 }
 
+func (m *mergeJoin) emitScratch(out plan.Row) plan.Row {
+	if m.reuse {
+		m.scratch = out
+	} else {
+		m.scratch = nil
+	}
+	return out
+}
+
 // Next implements iterator.
 func (m *mergeJoin) Next(ctx *execCtx) (plan.Row, bool, error) {
 	for {
@@ -376,15 +438,16 @@ func (m *mergeJoin) Next(ctx *execCtx) (plan.Row, bool, error) {
 		if m.groupIdx < len(m.rightRows) {
 			right := m.rightRows[m.groupIdx]
 			m.groupIdx++
-			out := concatRows(m.leftRow, right)
+			out := concatInto(m.scratch, m.leftRow, right)
+			m.scratch = out
 			ctx.clock.CPUTuples(1)
-			if m.node.JoinFilter != nil && !evalFilter(ctx, m.node.JoinFilter, m.joinCost, out) {
+			if m.node.JoinFilter != nil && !m.joinF.eval(ctx, out) {
 				continue
 			}
-			if !evalFilter(ctx, m.node.Filter, m.filterCost, out) {
+			if !m.filter.eval(ctx, out) {
 				continue
 			}
-			return out, true, nil
+			return m.emitScratch(out), true, nil
 		}
 		if !m.leftOK {
 			return nil, false, nil
@@ -486,10 +549,4 @@ func (m *mergeJoin) ReScan(ctx *execCtx, outer plan.Row) error {
 func (m *mergeJoin) Close() {
 	m.left.Close()
 	m.right.Close()
-}
-
-func concatRows(a, b plan.Row) plan.Row {
-	out := make(plan.Row, 0, len(a)+len(b))
-	out = append(out, a...)
-	return append(out, b...)
 }

@@ -217,12 +217,17 @@ func (l *limit) ReScan(ctx *execCtx, outer plan.Row) error {
 func (l *limit) Close() { l.child.Close() }
 
 // project evaluates the node's projection expressions (Result nodes) or
-// forwards rows with an optional filter (Subquery Scan nodes).
+// forwards rows with an optional filter (Subquery Scan nodes). When the
+// parent never retains rows (reuse), one output row is overwritten in
+// place.
 type project struct {
-	node       *plan.Node
-	child      iterator
-	projCost   plan.ExprCost
-	filterCost plan.ExprCost
+	node     *plan.Node
+	child    iterator
+	reuse    bool
+	projFns  []evalFn
+	projCost plan.ExprCost
+	filter   compiledFilter
+	out      plan.Row // reused output row when reuse is set
 }
 
 // Open implements iterator.
@@ -233,9 +238,8 @@ func (p *project) Open(ctx *execCtx) error {
 		p.projCost.Ops += c.Ops
 		p.projCost.NumericOps += c.NumericOps
 	}
-	if p.node.Filter != nil {
-		p.filterCost = p.node.Filter.Cost()
-	}
+	p.projFns = ctx.compileScalars(p.node.Projs)
+	p.filter = ctx.compileFilter(p.node.Filter)
 	return p.child.Open(ctx)
 }
 
@@ -246,17 +250,23 @@ func (p *project) Next(ctx *execCtx) (plan.Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		if !evalFilter(ctx, p.node.Filter, p.filterCost, row) {
+		if !p.filter.eval(ctx, row) {
 			continue
 		}
-		if len(p.node.Projs) == 0 {
+		if len(p.projFns) == 0 {
 			ctx.clock.CPUTuples(1)
 			return row, true, nil
 		}
 		ctx.clock.CPUOps(p.projCost.Ops, p.projCost.NumericOps)
-		out := make(plan.Row, len(p.node.Projs))
-		for i, e := range p.node.Projs {
-			out[i] = e.Eval(ctx.ectx, row)
+		out := p.out
+		if out == nil {
+			out = make(plan.Row, len(p.projFns))
+		}
+		for i, fn := range p.projFns {
+			out[i] = fn(ctx.ectx, row)
+		}
+		if p.reuse {
+			p.out = out
 		}
 		return out, true, nil
 	}

@@ -9,20 +9,18 @@ import (
 // seqScan reads a heap table in storage order, charging sequential page
 // reads at page boundaries and per-tuple CPU, and applies the node filter.
 type seqScan struct {
-	node       *plan.Node
-	table      *storage.Table
-	pos        int
-	lastPage   int64
-	filterCost plan.ExprCost
+	node     *plan.Node
+	table    *storage.Table
+	pos      int
+	lastPage int64
+	filter   compiledFilter
 }
 
 // Open implements iterator.
-func (s *seqScan) Open(_ *execCtx) error {
+func (s *seqScan) Open(ctx *execCtx) error {
 	s.pos = 0
 	s.lastPage = -1
-	if s.node.Filter != nil {
-		s.filterCost = s.node.Filter.Cost()
-	}
+	s.filter = ctx.compileFilter(s.node.Filter)
 	return nil
 }
 
@@ -37,7 +35,7 @@ func (s *seqScan) Next(ctx *execCtx) (plan.Row, bool, error) {
 		row := s.table.Rows[s.pos]
 		s.pos++
 		ctx.clock.CPUTuples(1)
-		if evalFilter(ctx, s.node.Filter, s.filterCost, row) {
+		if s.filter.eval(ctx, row) {
 			return row, true, nil
 		}
 	}
@@ -60,18 +58,24 @@ func (s *seqScan) Close() {}
 // or a full ordered scan (for merge joins). Heap fetches are charged as
 // random page reads, softened by the buffer cache.
 type indexScan struct {
-	node       *plan.Node
-	table      *storage.Table
-	index      *storage.Index
-	matches    []int
-	pos        int
-	filterCost plan.ExprCost
+	node      *plan.Node
+	table     *storage.Table
+	index     *storage.Index
+	matches   []int
+	pos       int
+	filter    compiledFilter
+	lookupFns []evalFn // compiled LookupExprs (or LookupConsts)
+	keyBuf    []byte   // reused rendered-key buffer for full-key lookups
 }
 
 // Open implements iterator.
 func (s *indexScan) Open(ctx *execCtx) error {
-	if s.node.Filter != nil {
-		s.filterCost = s.node.Filter.Cost()
+	s.filter = ctx.compileFilter(s.node.Filter)
+	switch {
+	case len(s.node.LookupExprs) > 0:
+		s.lookupFns = ctx.compileScalars(s.node.LookupExprs)
+	case len(s.node.LookupConsts) > 0:
+		s.lookupFns = ctx.compileScalars(s.node.LookupConsts)
 	}
 	return s.reposition(ctx, nil)
 }
@@ -85,21 +89,9 @@ func (s *indexScan) reposition(ctx *execCtx, outer plan.Row) error {
 			s.matches = nil
 			return nil
 		}
-		keys := make([]types.Value, len(s.node.LookupExprs))
-		for i, e := range s.node.LookupExprs {
-			keys[i] = e.Eval(ctx.ectx, outer)
-			if keys[i].IsNull() {
-				s.matches = nil
-				return nil
-			}
-		}
-		s.lookup(ctx, keys)
+		s.lookup(ctx, outer, true)
 	case len(s.node.LookupConsts) > 0:
-		keys := make([]types.Value, len(s.node.LookupConsts))
-		for i, e := range s.node.LookupConsts {
-			keys[i] = e.Eval(ctx.ectx, nil)
-		}
-		s.lookup(ctx, keys)
+		s.lookup(ctx, nil, false)
 	default:
 		// Full ordered scan.
 		s.matches = s.index.Ordered()
@@ -107,11 +99,38 @@ func (s *indexScan) reposition(ctx *execCtx, outer plan.Row) error {
 	return nil
 }
 
-func (s *indexScan) lookup(ctx *execCtx, keys []types.Value) {
-	if len(keys) == len(s.index.Cols) {
-		s.matches = s.index.Lookup(keys)
+// lookup evaluates the compiled key expressions over row (nil for
+// constant keys) and probes the index. This runs once per rescan inside
+// nested loops — the executor's hottest reposition path — so the full-key
+// probe renders into a reused byte buffer instead of building a string.
+// nullAborts makes a NULL key column yield no matches without charging
+// the index descent (parameterized lookups only — nulls never join).
+func (s *indexScan) lookup(ctx *execCtx, row plan.Row, nullAborts bool) {
+	fullKey := len(s.lookupFns) == len(s.index.Cols)
+	buf := s.keyBuf[:0]
+	var first types.Value
+	for i, fn := range s.lookupFns {
+		v := fn(ctx.ectx, row)
+		if nullAborts && v.IsNull() {
+			s.keyBuf = buf
+			s.matches = nil
+			return
+		}
+		if i == 0 {
+			first = v
+		}
+		if fullKey {
+			if i > 0 {
+				buf = append(buf, 0)
+			}
+			buf = v.AppendKey(buf)
+		}
+	}
+	s.keyBuf = buf
+	if fullKey {
+		s.matches = s.index.LookupKey(buf)
 	} else {
-		s.matches = s.index.LookupPrefix(keys[0])
+		s.matches = s.index.LookupPrefix(first)
 	}
 	// Charge the B-tree descent: the root/internal page (hot, so usually a
 	// cache hit) plus the leaf page holding the first match.
@@ -134,7 +153,7 @@ func (s *indexScan) Next(ctx *execCtx) (plan.Row, bool, error) {
 		s.node.Act.Pages++
 		ctx.clock.CPUTuples(1)
 		row := s.table.Rows[rid]
-		if evalFilter(ctx, s.node.Filter, s.filterCost, row) {
+		if s.filter.eval(ctx, row) {
 			return row, true, nil
 		}
 	}

@@ -414,9 +414,11 @@ type Like struct {
 }
 
 // NewLike compiles a LIKE pattern ('%' any run, '_' any single char).
+// The wildcards match every character including newline ((?s)), so the
+// executor's compiled string matchers and this regexp agree on all inputs.
 func NewLike(e Scalar, pattern string, negated bool) *Like {
 	var sb strings.Builder
-	sb.WriteString("^")
+	sb.WriteString("(?s)^")
 	for _, r := range pattern {
 		switch r {
 		case '%':
@@ -439,6 +441,11 @@ func (l *Like) Eval(ctx *Ctx, row Row) types.Value {
 	}
 	return types.Bool(l.re.MatchString(v.S) != l.Negated)
 }
+
+// Matches reports whether s matches the raw pattern (before negation).
+// The executor's expression compiler uses it as the reference matcher for
+// patterns its specialized string searches don't cover.
+func (l *Like) Matches(s string) bool { return l.re.MatchString(s) }
 
 // Cost implements Scalar.
 func (l *Like) Cost() ExprCost {

@@ -1,0 +1,53 @@
+// Package prof wires the stdlib runtime/pprof profilers behind the
+// -cpuprofile / -memprofile flags of the long-running commands (qppexp,
+// qpptrain). Profiles observe only real time: the virtual clock the
+// figures are computed from never reads the wall clock, so profiling a
+// run cannot perturb its numbers — which is what makes "profile, then
+// optimize, then diff the goldens" a safe loop.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins CPU profiling into path and returns the stop
+// function. An empty path is a no-op with a no-op stop.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prof: cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap forces a GC (so the profile reflects live objects, not
+// garbage awaiting collection) and writes the heap profile to path.
+// An empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("prof: heap profile: %w", err)
+	}
+	return nil
+}

@@ -140,6 +140,14 @@ func (idx *Index) Lookup(vals []types.Value) []int {
 	return idx.hash[idx.KeyFor(vals)]
 }
 
+// LookupKey returns the row offsets whose rendered key (the KeyFor
+// encoding: Value.Key pieces joined by NUL) equals key. Taking the key as
+// bytes lets the executor probe with a reused buffer — the string(key)
+// conversion in a map index expression does not allocate.
+func (idx *Index) LookupKey(key []byte) []int {
+	return idx.hash[string(key)]
+}
+
 // LookupPrefix returns row offsets whose leading key column equals v,
 // in key order. Used for single-column equality on composite keys.
 func (idx *Index) LookupPrefix(v types.Value) []int {

@@ -189,3 +189,21 @@ func (v Value) Key() string {
 		return v.String()
 	}
 }
+
+// AppendKey appends exactly the bytes of Key() to buf and returns the
+// extended slice. The executor's hash-aggregation and hash-join hot paths
+// use it with a reused per-operator buffer so building a composite key
+// costs no allocations (the map key string is only materialized when a
+// new group or build row is inserted).
+func (v Value) AppendKey(buf []byte) []byte {
+	switch v.Kind {
+	case KindFloat:
+		return strconv.AppendFloat(buf, v.F, 'g', -1, 64)
+	case KindInt, KindDate, KindBool:
+		return strconv.AppendInt(buf, v.I, 10)
+	case KindString:
+		return append(buf, v.S...)
+	default:
+		return append(buf, v.String()...)
+	}
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env sh
+# Executor performance trajectory: run the short expression/executor
+# benchmark subset and record it as BENCH_exec.json at the repo root.
+#
+# The subset pairs each compiled-path benchmark with its interpreted
+# twin (exec.Options{Interpret: true}) so the JSON carries the ratio the
+# PR gate checks: compiled ns/op must beat interpreted by >= 1.5x on the
+# Q6 hot path while allocs/op stay at or below the interpreted figures.
+#
+#   scripts/bench.sh            # ~1 min, writes BENCH_exec.json
+#   scripts/bench.sh -benchtime 5x   # extra args go to `go test`
+#
+# Output schema (one object per benchmark line):
+#   {"name": ..., "iterations": N, "ns_per_op": ..., "bytes_per_op": ...,
+#    "allocs_per_op": ...}
+# wrapped with go version + GOOS/GOARCH so figures from different
+# machines are never compared blindly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_exec.json
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# Full-query pairs (root package) + pure-expression pairs (internal/exec).
+go test -run '^$' -bench 'BenchmarkExecutionQ6|BenchmarkExprCompiled|BenchmarkExprInterpreted' \
+	-benchmem -benchtime=1s "$@" . | tee "$tmp"
+go test -run '^$' -bench 'BenchmarkScalarEval' \
+	-benchmem -benchtime=1s "$@" ./internal/exec/ | tee -a "$tmp"
+
+# Convert `go test -bench` lines into JSON with awk (stdlib-only repo:
+# no benchstat). A bench line looks like:
+#   BenchmarkFoo/sub-8  123  456 ns/op  789 B/op  12 allocs/op
+awk -v goversion="$(go version)" '
+BEGIN {
+	n = 0
+}
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip -GOMAXPROCS suffix
+	iters = $2
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "B/op") bytes = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+	if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+	if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+	line = line "}"
+	lines[n++] = line
+}
+END {
+	if (n == 0) {
+		print "no benchmark lines parsed" > "/dev/stderr"
+		exit 1
+	}
+	print "{"
+	printf "  \"go\": \"%s\",\n", goversion
+	print "  \"benchmarks\": ["
+	for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+	print "  ]"
+	print "}"
+}
+' "$tmp" > "$out"
+
+printf '\nwrote %s (%s benchmark lines)\n' "$out" "$(grep -c '"name"' "$out")"
