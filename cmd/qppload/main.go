@@ -1,0 +1,205 @@
+// Command qppload is the deterministic load generator for qppserve: it
+// drives POST /predict with a fixed TPC-H query mix at one or more
+// concurrency levels and reports p50/p99/mean/max latency and
+// throughput per level as JSON (scripts/bench.sh writes it to
+// BENCH_serve.json).
+//
+//	qppload -addr http://127.0.0.1:8099 -levels 2,8 -n 400 -out BENCH_serve.json
+//
+// The query mix is generated from -templates and -seed, so two runs
+// against the same server issue byte-identical request streams.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"qpp/internal/serve"
+	"qpp/internal/tpch"
+)
+
+// Report is the qppload output document.
+type Report struct {
+	Go               string             `json:"go"`
+	Addr             string             `json:"addr"`
+	ModelVersion     string             `json:"model_version"`
+	RequestsPerLevel int                `json:"requests_per_level"`
+	Templates        []int              `json:"templates"`
+	Seed             int64              `json:"seed"`
+	Levels           []serve.LevelStats `json:"levels"`
+}
+
+func parseInts(csv string) ([]int, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", csv, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// waitHealthy polls GET /healthz until the server answers 200 and
+// returns the reported model version.
+func waitHealthy(client *http.Client, addr string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	url := addr + "/healthz"
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(url)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				var h struct {
+					ModelVersion string `json:"model_version"`
+				}
+				if jerr := json.Unmarshal(body, &h); jerr == nil {
+					return h.ModelVersion, nil
+				}
+			}
+			lastErr = fmt.Errorf("healthz: status %d", resp.StatusCode)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return "", fmt.Errorf("server not healthy after %s: %w", timeout, lastErr)
+}
+
+// runLevel fires n requests at the given concurrency and returns the
+// level's statistics. The bodies slice is the precomputed request
+// stream; workers pull indexes from one channel so the total request
+// count is exact regardless of scheduling.
+func runLevel(client *http.Client, url string, bodies [][]byte, concurrency int) serve.LevelStats {
+	jobs := make(chan int, len(bodies))
+	for i := range bodies {
+		jobs <- i
+	}
+	close(jobs)
+
+	latencies := make([][]float64, concurrency)
+	errCounts := make([]int, concurrency)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range jobs {
+				start := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					errCounts[w]++
+					continue
+				}
+				_, cerr := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if cerr != nil || resp.StatusCode != http.StatusOK {
+					errCounts[w]++
+					continue
+				}
+				latencies[w] = append(latencies[w], time.Since(start).Seconds())
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(t0).Seconds()
+
+	var all []float64
+	errs := 0
+	for w := 0; w < concurrency; w++ {
+		all = append(all, latencies[w]...)
+		errs += errCounts[w]
+	}
+	return serve.Summarize(concurrency, all, errs, wall)
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8099", "qppserve base URL")
+	levelsFlag := flag.String("levels", "2,8", "comma-separated concurrency levels")
+	n := flag.Int("n", 400, "requests per level")
+	templatesFlag := flag.String("templates", "", "comma-separated TPC-H templates (empty: the operator-level 14)")
+	seed := flag.Int64("seed", 7, "query generation seed")
+	out := flag.String("out", "", "output JSON file (empty: stdout)")
+	wait := flag.Duration("wait", 60*time.Second, "how long to wait for /healthz before giving up")
+	flag.Parse()
+
+	levels, err := parseInts(*levelsFlag)
+	if err != nil {
+		log.Fatalf("qppload: %v", err)
+	}
+	templates := tpch.OperatorLevelTemplates
+	if *templatesFlag != "" {
+		if templates, err = parseInts(*templatesFlag); err != nil {
+			log.Fatalf("qppload: %v", err)
+		}
+	}
+
+	// Precompute the request stream: a deterministic query mix, JSON-
+	// encoded once, reused at every level.
+	perTemplate := (*n + len(templates) - 1) / len(templates)
+	queries, err := tpch.GenWorkload(templates, perTemplate, *seed)
+	if err != nil {
+		log.Fatalf("qppload: %v", err)
+	}
+	if len(queries) > *n {
+		queries = queries[:*n]
+	}
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		if bodies[i], err = json.Marshal(map[string]string{"sql": q.SQL}); err != nil {
+			log.Fatalf("qppload: %v", err)
+		}
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	version, err := waitHealthy(client, *addr, *wait)
+	if err != nil {
+		log.Fatalf("qppload: %v", err)
+	}
+	log.Printf("qppload: server healthy, model %s; %d requests per level", version, len(bodies))
+
+	report := Report{
+		Go:               runtime.Version(),
+		Addr:             *addr,
+		ModelVersion:     version,
+		RequestsPerLevel: len(bodies),
+		Templates:        templates,
+		Seed:             *seed,
+	}
+	url := *addr + "/predict"
+	for _, level := range levels {
+		st := runLevel(client, url, bodies, level)
+		log.Printf("qppload: concurrency %d: p50 %.2fms p99 %.2fms throughput %.1f req/s (%d errors)",
+			level, st.P50Millis, st.P99Millis, st.ThroughputRPS, st.Errors)
+		report.Levels = append(report.Levels, st)
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatalf("qppload: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("qppload: %v", err)
+	}
+}

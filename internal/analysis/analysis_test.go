@@ -104,6 +104,13 @@ func TestHotAllocRule(t *testing.T) {
 	checkFixture(t, "hotalloc", "hotalloc", "qpp/internal/exec")
 }
 
+// The serving layer is request-hot: the same fixture must trip the rule
+// when loaded under the qppserve import paths too.
+func TestHotAllocCoversServingPackages(t *testing.T) {
+	checkFixture(t, "hotalloc", "hotalloc", "qpp/internal/serve")
+	checkFixture(t, "hotalloc", "hotalloc", "qpp/cmd/qppserve")
+}
+
 func TestHotAllocIgnoresColdPackages(t *testing.T) {
 	pkg := loadFixture(t, "hotalloc", "example.com/hotalloc")
 	if findings := Check(pkg, []Rule{ruleByName(t, "hotalloc")}); len(findings) != 0 {

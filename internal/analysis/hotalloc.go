@@ -6,14 +6,18 @@ import (
 	"go/types"
 )
 
-// HotPathPackages lists the packages whose loops are presumed per-row:
-// the executor iterates them once per tuple, so any string-building
-// allocation inside a loop multiplies by table cardinality. The
-// sanctioned pattern is rendering into a reused []byte buffer
-// (types.Value.AppendKey) and probing maps via m[string(buf)], which
-// the compiler keeps allocation-free.
+// HotPathPackages lists the packages whose loops are presumed per-row
+// or per-request: the executor iterates them once per tuple and the
+// serving layer once per concurrent request, so any string-building
+// allocation inside a loop multiplies by table cardinality (executor)
+// or request rate (server). The sanctioned patterns are rendering into
+// a reused []byte buffer (types.Value.AppendKey), probing maps via
+// m[string(buf)], and — in the serving layer — precomputing names and
+// labels at construction time instead of per scrape or per request.
 var HotPathPackages = []string{
 	"qpp/internal/exec",
+	"qpp/internal/serve",
+	"qpp/cmd/qppserve",
 }
 
 // fmtAllocDeny is the allocating render surface of package fmt. Errorf

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"qpp/internal/serve"
+	"qpp/internal/storage"
+)
+
+// Golden HTTP tests: the serving endpoints' observable surface —
+// /explain's plan+feature rendering and /metrics' registry dump — is
+// snapshotted byte-for-byte. Everything feeding them is deterministic:
+// the snapshot is trained on the virtual clock from a seeded workload,
+// and request latencies come from an injected counter clock, so these
+// goldens are stable across machines. Regenerate with -update after an
+// intentional change to the planner, the feature schema, the metrics
+// registry or the serving handlers.
+
+var serveOnce struct {
+	sync.Once
+	snap *serve.Snapshot
+	db   *storage.Database
+	err  error
+}
+
+// fixed query driven against the server before the /metrics snapshot.
+const serveGoldenSQL = "select count(*) from lineitem"
+
+// goldenServer trains one small deterministic snapshot per test binary
+// and wires a FRESH server over it for each caller, with a counter
+// clock (every now() call advances 1 ms). Fresh server per test keeps
+// each golden independent of test ordering; the shared snapshot keeps
+// the binary fast.
+func goldenServer(t *testing.T) *serve.Server {
+	t.Helper()
+	serveOnce.Do(func() {
+		serveOnce.snap, serveOnce.db, serveOnce.err = serve.TrainSnapshot(serve.TrainConfig{
+			ScaleFactor: 0.004,
+			Templates:   []int{1, 3, 6, 10, 12, 14},
+			PerTemplate: 4,
+			Seed:        11,
+		})
+	})
+	if serveOnce.err != nil {
+		t.Fatal(serveOnce.err)
+	}
+	ticks := 0
+	clock := func() float64 {
+		ticks++
+		return float64(ticks) * 0.001
+	}
+	return serve.New(serveOnce.db, serveOnce.snap, serve.Options{Now: clock})
+}
+
+func serveRequest(t *testing.T, srv *serve.Server, method, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, target, nil)
+	} else {
+		req = httptest.NewRequest(method, target, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("snapshot diverges from %s (run with -update if intentional):\ngot:\n%s", path, got)
+	}
+}
+
+// TestGoldenServeExplain snapshots GET /explain for a fixed template
+// instance: the model version line, the costed plan tree and the
+// Table-1 feature vector.
+func TestGoldenServeExplain(t *testing.T) {
+	srv := goldenServer(t)
+	w := serveRequest(t, srv, http.MethodGet, "/explain?template=3&seed=42", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	checkGolden(t, "serve_explain_t3.golden", w.Body.String())
+}
+
+// TestGoldenServeMetrics drives a fixed request script — two good
+// predictions, one client error, one explain, one health check — and
+// snapshots the full /metrics dump. Counter values and histogram
+// contents (on the injected 1 ms-per-call clock) are part of the
+// golden.
+func TestGoldenServeMetrics(t *testing.T) {
+	srv := goldenServer(t) // fresh server: counts start at zero
+	for i := 0; i < 2; i++ {
+		w := serveRequest(t, srv, http.MethodPost, "/predict", `{"sql": "`+serveGoldenSQL+`"}`)
+		if w.Code != http.StatusOK {
+			t.Fatalf("predict %d: %d: %s", i, w.Code, w.Body.String())
+		}
+	}
+	if w := serveRequest(t, srv, http.MethodPost, "/predict", `{"sql": ""}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad predict: %d", w.Code)
+	}
+	if w := serveRequest(t, srv, http.MethodGet, "/explain?template=6&seed=1", ""); w.Code != http.StatusOK {
+		t.Fatalf("explain: %d", w.Code)
+	}
+	if w := serveRequest(t, srv, http.MethodGet, "/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+	w := serveRequest(t, srv, http.MethodGet, "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	checkGolden(t, "serve_metrics.golden", w.Body.String())
+}

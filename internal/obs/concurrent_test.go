@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestCHistMatchesHistogram feeds the same serial value stream to a
+// CHist and a plain Histogram and requires bucket-for-bucket agreement:
+// the concurrent histogram exists precisely so /metrics dumps look the
+// same whether values were recorded offline or on the serving path.
+func TestCHistMatchesHistogram(t *testing.T) {
+	values := []float64{
+		0.001, 0.0015, 0.9, 1.0, 1.5, 2.0, 3.75, 1024, 1e-9, 5e-324,
+		math.MaxFloat64, 0, -3, math.Inf(1), math.Inf(-1), 7.25, 0.001,
+	}
+	ch := NewCHist()
+	h := NewHistogram()
+	for _, v := range values {
+		ch.Observe(v)
+		h.Observe(v)
+	}
+	snap := ch.Snapshot()
+	if snap.Count() != h.Count() {
+		t.Fatalf("count: got %d want %d", snap.Count(), h.Count())
+	}
+	// The stream contains +Inf and -Inf, so the sum is NaN on both
+	// sides; NaN != NaN needs the explicit check.
+	if snap.Sum() != h.Sum() && !(math.IsNaN(snap.Sum()) && math.IsNaN(h.Sum())) {
+		t.Fatalf("sum: got %g want %g", snap.Sum(), h.Sum())
+	}
+	if snap.Min() != h.Min() || snap.Max() != h.Max() {
+		t.Fatalf("min/max: got (%g,%g) want (%g,%g)", snap.Min(), snap.Max(), h.Min(), h.Max())
+	}
+	got, want := snap.Buckets(), h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("bucket sets differ: got %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.MergeHist("h", snap)
+	rb.MergeHist("h", h)
+	if ra.String() != rb.String() {
+		t.Fatalf("rendered dumps differ:\n%s\nvs\n%s", ra.String(), rb.String())
+	}
+}
+
+// TestCHistNaN pins the documented NaN behaviour: NaN counts and lands
+// in the NaN bucket but never becomes min or max.
+func TestCHistNaN(t *testing.T) {
+	ch := NewCHist()
+	ch.Observe(math.NaN())
+	ch.Observe(2.0)
+	snap := ch.Snapshot()
+	if snap.Count() != 2 {
+		t.Fatalf("count: got %d want 2", snap.Count())
+	}
+	if snap.Min() != 2.0 || snap.Max() != 2.0 {
+		t.Fatalf("min/max should ignore NaN: got (%g,%g)", snap.Min(), snap.Max())
+	}
+
+	onlyNaN := NewCHist()
+	onlyNaN.Observe(math.NaN())
+	s := onlyNaN.Snapshot()
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatalf("all-NaN stream: min/max should be NaN, got (%g,%g)", s.Min(), s.Max())
+	}
+}
+
+// TestCHistConcurrent hammers one histogram from many goroutines and
+// checks the exactly-preserved invariants afterwards: total count,
+// bucket totals, min, max, and the (order-independent because the
+// addends are integral powers of two) float sum.
+func TestCHistConcurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 10000
+	ch := NewCHist()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// 1.0 and 2.0 sum exactly in any order.
+				if (i+w)%2 == 0 {
+					ch.Observe(1.0)
+				} else {
+					ch.Observe(2.0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := ch.Snapshot()
+	const total = workers * perWorker
+	if snap.Count() != total {
+		t.Fatalf("count: got %d want %d", snap.Count(), total)
+	}
+	if snap.Min() != 1.0 || snap.Max() != 2.0 {
+		t.Fatalf("min/max: got (%g,%g) want (1,2)", snap.Min(), snap.Max())
+	}
+	wantSum := float64(total) / 2 * 3 // half ones, half twos
+	if snap.Sum() != wantSum {
+		t.Fatalf("sum: got %g want %g", snap.Sum(), wantSum)
+	}
+	var bucketTotal int64
+	for _, b := range snap.Buckets() {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != total {
+		t.Fatalf("bucket totals: got %d want %d", bucketTotal, total)
+	}
+}
+
+// TestCCounterConcurrent checks the counter is exact under contention.
+func TestCCounterConcurrent(t *testing.T) {
+	var c CCounter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				c.Inc()
+			}
+			c.Add(5)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*5005 {
+		t.Fatalf("counter: got %d want %d", got, 8*5005)
+	}
+}
+
+// TestMergeHistIntoRegistry checks the CHist → Registry bridge renders
+// identically to direct observation.
+func TestMergeHistIntoRegistry(t *testing.T) {
+	ch := NewCHist()
+	for _, v := range []float64{0.5, 1.5, 2.5} {
+		ch.Observe(v)
+	}
+	viaBridge := NewRegistry()
+	viaBridge.MergeHist("lat", ch.Snapshot())
+
+	direct := NewRegistry()
+	for _, v := range []float64{0.5, 1.5, 2.5} {
+		direct.Observe("lat", v)
+	}
+	if viaBridge.String() != direct.String() {
+		t.Fatalf("bridge dump differs:\n%s\nvs\n%s", viaBridge.String(), direct.String())
+	}
+
+	// Merging twice accumulates.
+	viaBridge.MergeHist("lat", ch.Snapshot())
+	if got := viaBridge.Hist("lat").Count(); got != 6 {
+		t.Fatalf("double merge count: got %d want 6", got)
+	}
+}
+
+// TestSetCounter pins the absolute-value semantics.
+func TestSetCounter(t *testing.T) {
+	r := NewRegistry()
+	r.Add("g", 3)
+	r.SetCounter("g", 7)
+	if got := r.Counter("g"); got != 7 {
+		t.Fatalf("SetCounter: got %g want 7", got)
+	}
+}
+
+// TestCHistReset checks Reset returns the histogram to its empty state.
+func TestCHistReset(t *testing.T) {
+	ch := NewCHist()
+	ch.Observe(1)
+	ch.Observe(math.Inf(1))
+	ch.Reset()
+	snap := ch.Snapshot()
+	if snap.Count() != 0 || snap.Sum() != 0 {
+		t.Fatalf("reset histogram not empty: count=%d sum=%g", snap.Count(), snap.Sum())
+	}
+	ch.Observe(4)
+	if got := ch.Snapshot().Min(); got != 4 {
+		t.Fatalf("min after reset: got %g want 4", got)
+	}
+}

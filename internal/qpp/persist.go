@@ -14,6 +14,26 @@ import (
 // materialize such models offline, so that they are readily available for
 // future predictions"). Trained plan-level, operator-level and hybrid
 // predictors serialize to JSON and load back without retraining.
+//
+// Every top-level state carries an explicit format version. A serving
+// process that hot-loads snapshot files must fail loudly on a stale or
+// future snapshot rather than silently mispredicting from reinterpreted
+// fields, so the loaders reject any version other than FormatVersion.
+
+// FormatVersion is the on-disk model snapshot format revision. Bump it
+// whenever a state struct changes shape or meaning; loaders reject
+// files written under any other revision.
+const FormatVersion = 1
+
+// checkFormat validates a decoded state's format version. A zero
+// version also catches pre-versioning files, whose decoded struct lacks
+// the field entirely.
+func checkFormat(kind string, got int) error {
+	if got != FormatVersion {
+		return fmt.Errorf("qpp: %s snapshot has format version %d, this build reads version %d; retrain and re-save the model", kind, got, FormatVersion)
+	}
+	return nil
+}
 
 type planModelState struct {
 	Cols       []int           `json:"cols"`
@@ -68,8 +88,9 @@ func unmarshalOpModel(st *opModelState) (*opModel, error) {
 }
 
 type planLevelState struct {
-	Model *planModelState `json:"model"`
-	Mode  FeatureMode     `json:"mode"`
+	Format int             `json:"format"`
+	Model  *planModelState `json:"model"`
+	Mode   FeatureMode     `json:"mode"`
 }
 
 // Save materializes the plan-level predictor as JSON.
@@ -78,7 +99,7 @@ func (p *PlanLevelPredictor) Save(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return json.NewEncoder(w).Encode(planLevelState{Model: st, Mode: p.Mode})
+	return json.NewEncoder(w).Encode(planLevelState{Format: FormatVersion, Model: st, Mode: p.Mode})
 }
 
 // LoadPlanLevel restores a materialized plan-level predictor.
@@ -86,6 +107,12 @@ func LoadPlanLevel(r io.Reader) (*PlanLevelPredictor, error) {
 	var st planLevelState
 	if err := json.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("qpp: load plan-level: %w", err)
+	}
+	if err := checkFormat("plan-level", st.Format); err != nil {
+		return nil, err
+	}
+	if st.Model == nil {
+		return nil, fmt.Errorf("qpp: plan-level snapshot has no model")
 	}
 	pm, err := unmarshalPlanModel(st.Model)
 	if err != nil {
@@ -95,6 +122,7 @@ func LoadPlanLevel(r io.Reader) (*PlanLevelPredictor, error) {
 }
 
 type operatorLevelState struct {
+	Format        int                      `json:"format"`
 	Start         map[string]*opModelState `json:"start"`
 	Run           map[string]*opModelState `json:"run"`
 	Mode          FeatureMode              `json:"mode"`
@@ -105,9 +133,10 @@ type operatorLevelState struct {
 // Save materializes the operator-level predictor as JSON.
 func (p *OperatorLevelPredictor) Save(w io.Writer) error {
 	st := operatorLevelState{
-		Start: map[string]*opModelState{},
-		Run:   map[string]*opModelState{},
-		Mode:  p.Mode,
+		Format: FormatVersion,
+		Start:  map[string]*opModelState{},
+		Run:    map[string]*opModelState{},
+		Mode:   p.Mode,
 	}
 	for op, m := range p.start {
 		s, err := m.marshal()
@@ -134,6 +163,9 @@ func LoadOperatorLevel(r io.Reader) (*OperatorLevelPredictor, error) {
 	if err := json.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("qpp: load operator-level: %w", err)
 	}
+	if err := checkFormat("operator-level", st.Format); err != nil {
+		return nil, err
+	}
 	p := &OperatorLevelPredictor{
 		start:         map[plan.OpType]*opModel{},
 		run:           map[plan.OpType]*opModel{},
@@ -158,15 +190,43 @@ func LoadOperatorLevel(r io.Reader) (*OperatorLevelPredictor, error) {
 	return p, nil
 }
 
+type costBaselineState struct {
+	Format    int     `json:"format"`
+	Slope     float64 `json:"slope"`
+	Intercept float64 `json:"intercept"`
+}
+
+// Save materializes the cost-model baseline as JSON.
+func (c *CostModelBaseline) Save(w io.Writer) error {
+	slope, intercept := c.Coefficients()
+	return json.NewEncoder(w).Encode(costBaselineState{Format: FormatVersion, Slope: slope, Intercept: intercept})
+}
+
+// LoadCostBaseline restores a materialized cost-model baseline.
+func LoadCostBaseline(r io.Reader) (*CostModelBaseline, error) {
+	var st costBaselineState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("qpp: load cost baseline: %w", err)
+	}
+	if err := checkFormat("cost-baseline", st.Format); err != nil {
+		return nil, err
+	}
+	lr := mlearn.NewLinearRegression(0)
+	lr.Coef = []float64{st.Slope}
+	lr.Intercept = st.Intercept
+	return &CostModelBaseline{model: lr}, nil
+}
+
 type subplanModelsState struct {
 	Start *planModelState `json:"start"`
 	Run   *planModelState `json:"run"`
 }
 
 type hybridState struct {
-	Ops   json.RawMessage                `json:"ops"`
-	Plans map[string]*subplanModelsState `json:"plans"`
-	Mode  FeatureMode                    `json:"mode"`
+	Format int                            `json:"format"`
+	Ops    json.RawMessage                `json:"ops"`
+	Plans  map[string]*subplanModelsState `json:"plans"`
+	Mode   FeatureMode                    `json:"mode"`
 }
 
 // Save materializes the hybrid predictor: the operator models plus every
@@ -176,7 +236,7 @@ func (h *HybridPredictor) Save(w io.Writer) error {
 	if err := h.Ops.Save(&opsBuf); err != nil {
 		return err
 	}
-	st := hybridState{Ops: json.RawMessage(opsBuf.Bytes()), Plans: map[string]*subplanModelsState{}, Mode: h.Mode}
+	st := hybridState{Format: FormatVersion, Ops: json.RawMessage(opsBuf.Bytes()), Plans: map[string]*subplanModelsState{}, Mode: h.Mode}
 	for sig, pm := range h.Plans {
 		start, err := pm.Start.marshal()
 		if err != nil {
@@ -196,6 +256,9 @@ func LoadHybrid(r io.Reader) (*HybridPredictor, error) {
 	var st hybridState
 	if err := json.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("qpp: load hybrid: %w", err)
+	}
+	if err := checkFormat("hybrid", st.Format); err != nil {
+		return nil, err
 	}
 	ops, err := LoadOperatorLevel(bytes.NewReader(st.Ops))
 	if err != nil {

@@ -94,3 +94,83 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		t.Fatal("wrong shape must fail")
 	}
 }
+
+// TestCostBaselineMaterialization round-trips the Section 5.2 baseline.
+func TestCostBaselineMaterialization(t *testing.T) {
+	ds := testDataset(t)
+	orig, err := qpp.TrainCostBaseline(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := qpp.LoadCostBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ds.Records[:10] {
+		if a, b := orig.Predict(r), loaded.Predict(r); a != b {
+			t.Fatalf("materialized baseline diverges: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestLoadRejectsFormatMismatch covers the stale-snapshot failure mode:
+// a serving process handed a file from a different format revision must
+// refuse it with a version error, never load-and-mispredict. Version 0
+// doubles as the missing-field case (pre-versioning snapshots decode to
+// the zero value).
+func TestLoadRejectsFormatMismatch(t *testing.T) {
+	ds := testDataset(t)
+	pl, err := qpp.TrainPlanLevel(ds.Records, qpp.FeatEstimates, qpp.DefaultPlanModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pl.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	if !strings.Contains(good, `"format":1`) {
+		t.Fatalf("saved state does not carry the format version: %s", good[:80])
+	}
+
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"missing version", strings.Replace(good, `"format":1`, `"format":0`, 1)},
+		{"future version", strings.Replace(good, `"format":1`, `"format":99`, 1)},
+	} {
+		_, err := qpp.LoadPlanLevel(strings.NewReader(tc.body))
+		if err == nil {
+			t.Fatalf("%s: load must fail", tc.name)
+		}
+		if !strings.Contains(err.Error(), "format version") {
+			t.Fatalf("%s: error should name the format version, got: %v", tc.name, err)
+		}
+	}
+
+	// The same gate guards every loader.
+	if _, err := qpp.LoadOperatorLevel(strings.NewReader(`{"format":0}`)); err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Fatalf("operator-level loader must reject version 0, got: %v", err)
+	}
+	if _, err := qpp.LoadHybrid(strings.NewReader(`{"format":0}`)); err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Fatalf("hybrid loader must reject version 0, got: %v", err)
+	}
+	if _, err := qpp.LoadCostBaseline(strings.NewReader(`{"format":0}`)); err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Fatalf("baseline loader must reject version 0, got: %v", err)
+	}
+}
+
+// TestHybridEmbeddedOpsVersionChecked corrupts only the nested
+// operator-level blob inside a hybrid snapshot: the embedded loader's
+// version gate must still fire.
+func TestHybridEmbeddedOpsVersionChecked(t *testing.T) {
+	if _, err := qpp.LoadHybrid(strings.NewReader(
+		`{"format":1,"ops":{"format":0},"plans":{},"mode":0}`)); err == nil ||
+		!strings.Contains(err.Error(), "format version") {
+		t.Fatalf("embedded ops version must be checked, got: %v", err)
+	}
+}

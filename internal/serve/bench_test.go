@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkPredict measures the full in-process /predict round trip —
+// JSON decode, parse, plan, featurize, all models, JSON encode — and
+// reports allocations, the tentpole's alloc-lean budget.
+func BenchmarkPredict(b *testing.B) {
+	s := newTestServer(b, Options{})
+	body := predictBody(b, templateSQL(b, 6, 17))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+// BenchmarkPredictParallel exercises the lock-free read path from all
+// procs at once — contention shows up as a throughput cliff vs the
+// serial benchmark.
+func BenchmarkPredictParallel(b *testing.B) {
+	s := newTestServer(b, Options{})
+	body := predictBody(b, templateSQL(b, 6, 17))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(body))
+			w := httptest.NewRecorder()
+			s.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+}
+
+// BenchmarkExplain measures the plan + feature rendering path.
+func BenchmarkExplain(b *testing.B) {
+	s := newTestServer(b, Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/explain?template=6&seed=17", nil)
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}

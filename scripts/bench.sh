@@ -7,7 +7,7 @@
 # PR gate checks: compiled ns/op must beat interpreted by >= 1.5x on the
 # Q6 hot path while allocs/op stay at or below the interpreted figures.
 #
-#   scripts/bench.sh            # ~1 min, writes BENCH_exec.json
+#   scripts/bench.sh            # ~1 min, writes BENCH_exec.json + BENCH_serve.json
 #   scripts/bench.sh -benchtime 5x   # extra args go to `go test`
 #
 # Output schema (one object per benchmark line):
@@ -15,13 +15,27 @@
 #    "allocs_per_op": ...}
 # wrapped with go version + GOOS/GOARCH so figures from different
 # machines are never compared blindly.
+#
+# The second half is the serving trajectory: boot cmd/qppserve (training
+# in-process at SF 0.01), drive POST /predict with cmd/qppload at two
+# concurrency levels, and record p50/p99/throughput per level as
+# BENCH_serve.json (qppload's own output schema).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out=BENCH_exec.json
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+bindir="$(mktemp -d)"
+serve_pid=""
+cleanup() {
+	rm -f "$tmp"
+	rm -rf "$bindir"
+	if [ -n "$serve_pid" ]; then
+		kill "$serve_pid" 2>/dev/null || true
+	fi
+}
+trap cleanup EXIT
 
 # Full-query pairs (root package) + pure-expression pairs (internal/exec).
 go test -run '^$' -bench 'BenchmarkExecutionQ6|BenchmarkExprCompiled|BenchmarkExprInterpreted' \
@@ -68,3 +82,23 @@ END {
 ' "$tmp" > "$out"
 
 printf '\nwrote %s (%s benchmark lines)\n' "$out" "$(grep -c '"name"' "$out")"
+
+# --- serving load benchmark -------------------------------------------
+# qppload self-waits on /healthz, so no curl/sleep polling here; the
+# server trains its snapshot in-process before it starts listening.
+serve_out=BENCH_serve.json
+serve_addr=127.0.0.1:18099
+
+go build -o "$bindir/qppserve" ./cmd/qppserve
+go build -o "$bindir/qppload" ./cmd/qppload
+
+"$bindir/qppserve" -addr "$serve_addr" -sf 0.01 -per-template 10 -seed 42 &
+serve_pid=$!
+
+"$bindir/qppload" -addr "http://$serve_addr" -levels 2,8 -n 400 -seed 7 \
+	-wait 180s -out "$serve_out"
+
+kill "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+printf '\nwrote %s (%s concurrency levels)\n' "$serve_out" "$(grep -c '"concurrency"' "$serve_out")"

@@ -10,6 +10,8 @@
 #   5. go test -race — the full suite under the race detector
 #   6. coverage    — statement coverage floor over the -short suite
 #   7. fuzz smoke  — 5s of FuzzParse on the SQL grammar
+#   8. serve smoke — 5s of FuzzPredictRequest on the qppserve /predict
+#                    decode→plan→predict path
 #
 # The parallel execution layer (internal/parallel, workload builds, fold
 # training, figure drivers) is only trusted because stage 5 passes clean;
@@ -67,5 +69,8 @@ awk -v t="$total" -v f="$COVERAGE_FLOOR" 'BEGIN { exit !(t+0 >= f+0) }' || {
 
 banner "fuzz smoke (FuzzParse, 5s)"
 go test -fuzz=FuzzParse -fuzztime=5s -run '^$' ./internal/sql
+
+banner "serve fuzz smoke (FuzzPredictRequest, 5s)"
+go test -fuzz=FuzzPredictRequest -fuzztime=5s -run '^$' ./internal/serve
 
 banner "CI OK"
