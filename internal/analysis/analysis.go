@@ -56,9 +56,12 @@ func Rules() []Rule {
 	return out
 }
 
-// Pass carries one package through one rule.
+// Pass carries one package through one rule. Mod gives interprocedural
+// rules the whole-module view (call graph, taint and lock summaries);
+// for a single-package Check it contains just that package.
 type Pass struct {
 	Pkg      *Package
+	Mod      *Module
 	rule     string
 	findings *[]Finding
 }
@@ -75,17 +78,33 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Check runs the given rules (all registered rules when nil) over one
-// package and returns the unsuppressed findings sorted by position.
+// package and returns the unsuppressed findings sorted by position. The
+// package is analyzed as a single-package module; use NewModule +
+// Module.Check for cross-package interprocedural context.
 func Check(pkg *Package, rules []Rule) []Finding {
+	return NewModule([]*Package{pkg}).Check(pkg, rules)
+}
+
+// Check runs rules (all registered rules when nil) over one package of
+// the module. When the full rule set runs, a `//qpplint:ignore` comment
+// that suppressed nothing becomes an `unusedignore` finding itself, so
+// stale suppressions cannot accumulate; partial rule runs skip that
+// check because an ignore for an unselected rule is not stale.
+func (m *Module) Check(pkg *Package, rules []Rule) []Finding {
+	full := rules == nil
 	if rules == nil {
 		rules = Rules()
 	}
 	var findings []Finding
 	for _, r := range rules {
-		pass := &Pass{Pkg: pkg, rule: r.Name, findings: &findings}
+		pass := &Pass{Pkg: pkg, Mod: m, rule: r.Name, findings: &findings}
 		r.Run(pass)
 	}
-	findings = filterSuppressed(pkg, findings)
+	idx := buildSuppressions(pkg)
+	findings = filterSuppressed(idx, findings)
+	if full {
+		findings = append(findings, idx.unusedFindings()...)
+	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -102,20 +121,30 @@ func Check(pkg *Package, rules []Rule) []Finding {
 	return findings
 }
 
-// CheckAll runs all registered rules over every package.
+// CheckAll runs all registered rules over every package, sharing one
+// module so interprocedural summaries are computed once.
 func CheckAll(pkgs []*Package) []Finding {
+	m := NewModule(pkgs)
 	var findings []Finding
 	for _, pkg := range pkgs {
-		findings = append(findings, Check(pkg, nil)...)
+		findings = append(findings, m.Check(pkg, nil)...)
 	}
 	return findings
 }
 
 var ignoreRe = regexp.MustCompile(`//\s*qpplint:ignore\s+([\w,* ]+)`)
 
-// suppressionIndex maps file -> line -> set of suppressed rule names
-// ("*" suppresses every rule).
-type suppressionIndex map[string]map[int]map[string]bool
+// suppEntry is one `//qpplint:ignore` comment: the rules it names, its
+// position, and whether any finding actually matched it.
+type suppEntry struct {
+	pos   token.Position
+	rules map[string]bool
+	used  bool
+}
+
+// suppressionIndex maps file -> line -> the ignore comments on that
+// line ("*" in a comment's rule set suppresses every rule).
+type suppressionIndex map[string]map[int][]*suppEntry
 
 func buildSuppressions(pkg *Package) suppressionIndex {
 	idx := suppressionIndex{}
@@ -127,21 +156,18 @@ func buildSuppressions(pkg *Package) suppressionIndex {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				lines := idx[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					idx[pos.Filename] = lines
-				}
-				set := lines[pos.Line]
-				if set == nil {
-					set = map[string]bool{}
-					lines[pos.Line] = set
-				}
+				entry := &suppEntry{pos: pos, rules: map[string]bool{}}
 				for _, name := range strings.FieldsFunc(m[1], func(r rune) bool {
 					return r == ',' || r == ' '
 				}) {
-					set[strings.TrimSpace(name)] = true
+					entry.rules[strings.TrimSpace(name)] = true
 				}
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int][]*suppEntry{}
+					idx[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], entry)
 			}
 		}
 	}
@@ -149,25 +175,66 @@ func buildSuppressions(pkg *Package) suppressionIndex {
 }
 
 // suppressed reports whether a `//qpplint:ignore` comment on the
-// finding's line or the line above covers its rule.
+// finding's line or the line above covers its rule, marking the
+// matching comment as used.
 func (idx suppressionIndex) suppressed(f Finding) bool {
 	lines, ok := idx[f.Pos.Filename]
 	if !ok {
 		return false
 	}
+	hit := false
 	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
-		if set, ok := lines[line]; ok && (set[f.Rule] || set["*"]) {
-			return true
+		for _, e := range lines[line] {
+			if e.rules[f.Rule] || e.rules["*"] {
+				e.used = true
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
 }
 
-func filterSuppressed(pkg *Package, findings []Finding) []Finding {
-	if len(findings) == 0 {
-		return findings
+// unusedFindings reports every ignore comment no finding matched. These
+// findings are not themselves suppressible: the fix is deleting the
+// comment (or repairing its rule name), never stacking another ignore.
+func (idx suppressionIndex) unusedFindings() []Finding {
+	var out []Finding
+	files := make([]string, 0, len(idx))
+	for file := range idx {
+		files = append(files, file)
 	}
-	idx := buildSuppressions(pkg)
+	sort.Strings(files)
+	for _, file := range files {
+		lines := idx[file]
+		nums := make([]int, 0, len(lines))
+		for line := range lines {
+			nums = append(nums, line)
+		}
+		sort.Ints(nums)
+		for _, line := range nums {
+			for _, e := range lines[line] {
+				if e.used {
+					continue
+				}
+				names := make([]string, 0, len(e.rules))
+				for name := range e.rules {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				out = append(out, Finding{
+					Pos:  e.pos,
+					Rule: "unusedignore",
+					Message: fmt.Sprintf(
+						"//qpplint:ignore %s suppresses nothing on this or the next line; delete the stale comment or fix the rule name",
+						strings.Join(names, ",")),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func filterSuppressed(idx suppressionIndex, findings []Finding) []Finding {
 	out := findings[:0]
 	for _, f := range findings {
 		if !idx.suppressed(f) {
@@ -175,6 +242,20 @@ func filterSuppressed(pkg *Package, findings []Finding) []Finding {
 		}
 	}
 	return out
+}
+
+func init() {
+	register(Rule{
+		Name: "unusedignore",
+		Doc: "a `//qpplint:ignore` comment that suppresses nothing is itself " +
+			"a finding, so stale suppressions cannot accumulate; emitted only " +
+			"when the full rule set runs (an ignore for an unselected rule is " +
+			"not stale)",
+		// The detection runs inside Module.Check after suppression
+		// filtering, where comment usage is known; the registration
+		// exists so -list, -rules and the registry tests see the rule.
+		Run: func(*Pass) {},
+	})
 }
 
 // rootIdent returns the leftmost identifier of a selector/index chain

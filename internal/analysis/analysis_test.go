@@ -148,7 +148,7 @@ func TestSuppressionComments(t *testing.T) {
 
 			// Re-run without the suppression filter.
 			var raw []Finding
-			pass := &Pass{Pkg: pkg, rule: rule.Name, findings: &raw}
+			pass := &Pass{Pkg: pkg, Mod: NewModule([]*Package{pkg}), rule: rule.Name, findings: &raw}
 			rule.Run(pass)
 
 			if len(raw) <= len(suppressed) {
@@ -161,7 +161,7 @@ func TestSuppressionComments(t *testing.T) {
 
 func TestRuleRegistry(t *testing.T) {
 	rules := Rules()
-	want := []string{"errdrop", "floateq", "guardedfield", "hotalloc", "maporder", "nondeterminism"}
+	want := []string{"errdrop", "floateq", "guardedfield", "hotalloc", "lockstate", "maporder", "nondeterminism", "unusedignore"}
 	var got []string
 	for _, r := range rules {
 		got = append(got, r.Name)

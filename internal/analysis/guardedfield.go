@@ -10,9 +10,9 @@ func init() {
 	register(Rule{
 		Name: "guardedfield",
 		Doc: "struct fields annotated `// guarded by <mu>` may only be " +
-			"accessed in functions that lock <mu> on the same receiver " +
-			"expression (flow-insensitive: the Lock/RLock call must appear " +
-			"somewhere in the function body)",
+			"accessed at program points where <mu> is held on every path " +
+			"(flow-sensitive over the CFG: locking later in the function, " +
+			"after an Unlock, or on only one branch does not count)",
 		Run: runGuardedField,
 	})
 }
@@ -21,9 +21,10 @@ var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
 
 // runGuardedField generalizes the qpp.OnlineCache pattern: a mutex-
 // protected field is annotated at its declaration, and every selector
-// access `x.field` must live in a function that also calls `x.<mu>.Lock`
-// or `x.<mu>.RLock`. Construction through composite literals is not a
-// selector access, so constructors stay clean without annotations.
+// access `x.field` must sit at a point where the held-lock-set dataflow
+// proves `x.<mu>` (or a bare package-level `<mu>`) is held on every
+// path. Construction through composite literals is not a selector
+// access, so constructors stay clean without annotations.
 func runGuardedField(pass *Pass) {
 	info := pass.Pkg.Info
 
@@ -59,39 +60,64 @@ func runGuardedField(pass *Pass) {
 		return
 	}
 
-	// Pass 2: every selector access to a guarded field must share a
-	// function with a lock of the same mutex on the same base expression.
+	// Pass 2: flow-sensitive check of every selector access against the
+	// held-lock set in force at that point.
 	for _, f := range pass.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			locked := lockedExprs(fd.Body)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				selection := info.Selections[sel]
-				if selection == nil || selection.Kind() != types.FieldVal {
-					return true
-				}
-				mu, ok := guarded[selection.Obj()]
-				if !ok {
-					return true
-				}
-				base := types.ExprString(sel.X)
-				if locked[base+"."+mu] || locked[mu] {
-					return true
-				}
-				pass.Reportf(sel.Pos(),
-					"%s.%s is guarded by %s but %s accesses it without locking %s.%s",
-					structName[selection.Obj()], sel.Sel.Name, mu, funcName(fd), base, mu)
-				return true
-			})
+			checkGuardedInBody(pass, guarded, structName, fd, fd.Body, nil)
 		}
 	}
+}
+
+// checkGuardedInBody runs the lock dataflow over one function body and
+// reports guarded accesses without the mutex must-held. Function
+// literals inherit the must-held set at their creation point (the
+// closest sound approximation without tracking where the closure runs)
+// and are checked recursively.
+func checkGuardedInBody(pass *Pass, guarded map[types.Object]string, structName map[types.Object]string, fd *ast.FuncDecl, body *ast.BlockStmt, outer *lockState) {
+	d, states := runLockFlow(pass.Mod, pass.Pkg, body)
+	if outer != nil {
+		entry := outer.clone()
+		// Deferred unlocks belong to the enclosing function, not the
+		// closure's own exit.
+		entry.deferred = map[string]bool{}
+		d.entry = entry
+		states = d.run()
+	}
+	d.replay(states, func(n ast.Node, s lockState) {
+		inspectHeader(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				checkGuardedInBody(pass, guarded, structName, fd, x.Body, &s)
+				return false
+			case *ast.SelectorExpr:
+				checkGuardedAccess(pass, guarded, structName, fd, x, s)
+			}
+			return true
+		})
+	}, nil)
+}
+
+func checkGuardedAccess(pass *Pass, guarded map[types.Object]string, structName map[types.Object]string, fd *ast.FuncDecl, sel *ast.SelectorExpr, s lockState) {
+	selection := pass.Pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	mu, ok := guarded[selection.Obj()]
+	if !ok {
+		return
+	}
+	base := types.ExprString(sel.X)
+	if s.must[base+"."+mu] != 0 || s.must[mu] != 0 {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"%s.%s is guarded by %s but %s accesses it without holding %s.%s at this point",
+		structName[selection.Obj()], sel.Sel.Name, mu, funcName(fd), base, mu)
 }
 
 // fieldGuardAnnotation extracts the mutex name from a `guarded by <mu>`
@@ -106,32 +132,4 @@ func fieldGuardAnnotation(field *ast.Field) string {
 		}
 	}
 	return ""
-}
-
-// lockedExprs collects the rendered receiver expressions of Lock/RLock
-// calls in a function body: `c.mu.Lock()` yields "c.mu".
-func lockedExprs(body *ast.BlockStmt) map[string]bool {
-	out := map[string]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		if name := sel.Sel.Name; name == "Lock" || name == "RLock" {
-			out[types.ExprString(sel.X)] = true
-		}
-		return true
-	})
-	return out
-}
-
-func funcName(fd *ast.FuncDecl) string {
-	if fd.Recv != nil && len(fd.Recv.List) == 1 {
-		return "method " + fd.Name.Name
-	}
-	return "function " + fd.Name.Name
 }

@@ -193,6 +193,41 @@ func LoadDir(dir, asPath string) (*Package, error) {
 	}, nil
 }
 
+// LoadDirs type-checks several fixture directories as one mini-module:
+// each entry maps an import path to a directory, checked in slice order
+// with earlier packages importable by later ones. It exists for
+// interprocedural fixtures, where a core package must call into a
+// helper package to exercise cross-package chains.
+func LoadDirs(dirs []struct{ Dir, AsPath string }) ([]*Package, error) {
+	fset := token.NewFileSet()
+	l := newLoader(fset)
+	var out []*Package
+	for _, d := range dirs {
+		names, err := goFilesIn(d.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("analysis: no .go files in %s", d.Dir)
+		}
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(d.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, errs := l.check(d.AsPath, files)
+		l.reg[d.AsPath] = pkg
+		out = append(out, &Package{
+			Path: d.AsPath, Dir: d.Dir, Fset: fset,
+			Files: files, Types: pkg, Info: info, TypeErrors: errs,
+		})
+	}
+	return out, nil
+}
+
 // modulePath extracts the module path from a go.mod file.
 func modulePath(gomod string) (string, error) {
 	data, err := os.ReadFile(gomod)

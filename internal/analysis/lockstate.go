@@ -1,0 +1,592 @@
+package analysis
+
+// Held-lock-set dataflow. One analysis feeds two rules:
+//
+//   - guardedfield: a `// guarded by <mu>` field access must happen with
+//     <mu> in the MUST-held set at that program point (flow-sensitive:
+//     locking after the access, or on only one branch, no longer counts);
+//   - lockstate: Lock without Unlock on some path to return/panic,
+//     double-lock self-deadlocks, unlocking a mutex that is not held,
+//     and module-wide lock-order inversions (mutex A taken under B in
+//     one function, B taken under A in another — the deadlock shape the
+//     serve snapshot swap / obs registry pairing must avoid).
+//
+// Locks are identified intraprocedurally by the rendered receiver
+// expression ("c.mu"); for cross-function ordering they canonicalize to
+// "<Type>.<field>" (field mutexes) or "<pkg>.<var>" (package-level).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+const (
+	lockW = 1 << iota // Lock
+	lockR             // RLock
+)
+
+// lockOp is one mutex operation found in a CFG node.
+type lockOp struct {
+	op        string // Lock, RLock, Unlock, RUnlock
+	expr      string // rendered receiver, e.g. "c.mu"
+	canonical string // cross-function identity, "" for locals
+	pos       token.Pos
+}
+
+// lockState is the per-point dataflow fact.
+type lockState struct {
+	must     map[string]int       // held on every path (kind bits)
+	may      map[string]int       // held on some path
+	deferred map[string]bool      // unlock deferred on every path
+	site     map[string]token.Pos // earliest Lock position per may-held lock
+	canon    map[string]string    // rendered expr -> canonical name, recorded at acquisition
+}
+
+func newLockState() lockState {
+	return lockState{
+		must:     map[string]int{},
+		may:      map[string]int{},
+		deferred: map[string]bool{},
+		site:     map[string]token.Pos{},
+		canon:    map[string]string{},
+	}
+}
+
+func (s lockState) clone() lockState {
+	out := newLockState()
+	for k, v := range s.must {
+		out.must[k] = v
+	}
+	for k, v := range s.may {
+		out.may[k] = v
+	}
+	for k := range s.deferred {
+		out.deferred[k] = true
+	}
+	for k, v := range s.site {
+		out.site[k] = v
+	}
+	for k, v := range s.canon {
+		out.canon[k] = v
+	}
+	return out
+}
+
+func lockJoin(a, b lockState) lockState {
+	out := newLockState()
+	for k, av := range a.must {
+		if bv, ok := b.must[k]; ok {
+			out.must[k] = av | bv
+		}
+	}
+	for k, v := range a.may {
+		out.may[k] = v
+	}
+	for k, v := range b.may {
+		out.may[k] |= v
+	}
+	for k := range a.deferred {
+		if b.deferred[k] {
+			out.deferred[k] = true
+		}
+	}
+	for k, v := range a.site {
+		out.site[k] = v
+	}
+	for k, v := range b.site {
+		if prev, ok := out.site[k]; !ok || v < prev {
+			out.site[k] = v
+		}
+	}
+	for k, v := range a.canon {
+		out.canon[k] = v
+	}
+	for k, v := range b.canon {
+		out.canon[k] = v
+	}
+	return out
+}
+
+func lockEqual(a, b lockState) bool {
+	return intMapEqual(a.must, b.must) && intMapEqual(a.may, b.may) &&
+		boolMapEqual(a.deferred, b.deferred) && posMapEqual(a.site, b.site) &&
+		strMapEqual(a.canon, b.canon)
+}
+
+func strMapEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func intMapEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func boolMapEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func posMapEqual(a, b map[string]token.Pos) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// isMutexType reports whether t (or its pointee) is sync.Mutex or
+// sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockOpOf recognizes a mutex method call, resolving its receiver
+// rendering and canonical identity.
+func lockOpOf(pkg *Package, call *ast.CallExpr) *lockOp {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil
+	}
+	if !isMutexType(pkg.Info.TypeOf(sel.X)) {
+		return nil
+	}
+	return &lockOp{
+		op:        name,
+		expr:      types.ExprString(sel.X),
+		canonical: canonicalLock(pkg, sel.X),
+		pos:       call.Pos(),
+	}
+}
+
+// canonicalLock names a mutex across functions: "Type.field" for a
+// struct-field mutex, "pkg.var" for a package-level one, "" for locals
+// (which cannot participate in cross-function ordering).
+func canonicalLock(pkg *Package, recv ast.Expr) string {
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		if selection := pkg.Info.Selections[e]; selection != nil && selection.Kind() == types.FieldVal {
+			t := selection.Recv()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + e.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		if obj := pkg.Info.ObjectOf(e); obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+				return shortFuncName(v.Pkg().Path()) + "." + v.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// lockFlow is the shared per-function analysis driver.
+type lockFlow struct {
+	pkg *Package
+}
+
+func (lf *lockFlow) transfer(n ast.Node, s lockState) lockState {
+	switch d := n.(type) {
+	case *ast.DeferStmt:
+		return lf.transferDefer(d, s)
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently; its lock operations are
+		// not this goroutine's state.
+		return s
+	}
+	out := s
+	mutated := false
+	inspectHeader(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op := lockOpOf(lf.pkg, call)
+		if op == nil {
+			return true
+		}
+		if !mutated {
+			out = out.clone()
+			mutated = true
+		}
+		switch op.op {
+		case "Lock", "RLock":
+			kind := lockW
+			if op.op == "RLock" {
+				kind = lockR
+			}
+			out.must[op.expr] |= kind
+			out.may[op.expr] |= kind
+			if prev, ok := out.site[op.expr]; !ok || op.pos < prev {
+				out.site[op.expr] = op.pos
+			}
+			if op.canonical != "" {
+				out.canon[op.expr] = op.canonical
+			}
+		case "Unlock", "RUnlock":
+			delete(out.must, op.expr)
+			delete(out.may, op.expr)
+			delete(out.site, op.expr)
+			delete(out.canon, op.expr)
+		}
+		return true
+	})
+	return out
+}
+
+// transferDefer records deferred unlocks, including the common
+// `defer func() { ...Unlock()... }()` shape.
+func (lf *lockFlow) transferDefer(d *ast.DeferStmt, s lockState) lockState {
+	var released []string
+	if op := lockOpOf(lf.pkg, d.Call); op != nil && (op.op == "Unlock" || op.op == "RUnlock") {
+		released = append(released, op.expr)
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if op := lockOpOf(lf.pkg, call); op != nil && (op.op == "Unlock" || op.op == "RUnlock") {
+					released = append(released, op.expr)
+				}
+			}
+			return true
+		})
+	}
+	if len(released) == 0 {
+		return s
+	}
+	out := s.clone()
+	for _, expr := range released {
+		out.deferred[expr] = true
+	}
+	return out
+}
+
+// runLockFlow computes the per-block input states for one function.
+func runLockFlow(m *Module, pkg *Package, body *ast.BlockStmt) (*dataflow[lockState], map[*cfgBlock]lockState) {
+	lf := &lockFlow{pkg: pkg}
+	d := &dataflow[lockState]{
+		cfg:      m.cfgOf(body),
+		entry:    newLockState(),
+		join:     lockJoin,
+		equal:    lockEqual,
+		transfer: lf.transfer,
+	}
+	return d, d.run()
+}
+
+// lockSummary is the interprocedural fact: canonical locks a function
+// (transitively) acquires, with a witness position for diagnostics.
+type lockSummary struct {
+	acquires map[string]token.Pos
+}
+
+// lockSummaries memoizes, per module, which canonical locks each
+// function's call tree acquires.
+func (m *Module) lockSummaries() map[string]*lockSummary {
+	if m.locksOK {
+		return m.locks
+	}
+	sums := map[string]*lockSummary{}
+	for _, name := range m.funcNames {
+		sums[name] = &lockSummary{acquires: map[string]token.Pos{}}
+	}
+	for sweep := 0; sweep < maxFixpointSweeps; sweep++ {
+		changed := false
+		for _, name := range m.funcNames {
+			info := m.funcs[name]
+			sum := sums[name]
+			ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // closures may run on another goroutine
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if op := lockOpOf(info.Pkg, call); op != nil {
+					if (op.op == "Lock" || op.op == "RLock") && op.canonical != "" {
+						if _, ok := sum.acquires[op.canonical]; !ok {
+							sum.acquires[op.canonical] = op.pos
+							changed = true
+						}
+					}
+					return true
+				}
+				if c := m.callee(info.Pkg, call); c != nil {
+					callees := sums[c.Name]
+					keys := make([]string, 0, len(callees.acquires))
+					for k := range callees.acquires {
+						keys = append(keys, k)
+					}
+					sort.Strings(keys)
+					for _, k := range keys {
+						if _, ok := sum.acquires[k]; !ok {
+							sum.acquires[k] = call.Pos()
+							changed = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		if !changed {
+			break
+		}
+	}
+	m.locks = sums
+	m.locksOK = true
+	return sums
+}
+
+// lockPair is one observed ordering: `before` held while `after` was
+// acquired at pos (directly or through the named callee chain).
+type lockPair struct {
+	before, after string
+	pos           token.Pos
+	pkg           *Package
+	via           string // callee full name, "" for a direct Lock
+}
+
+// lockOrderPairs collects every held-while-acquiring pair in the
+// module, memoized. Only canonically-named locks participate.
+func (m *Module) lockOrderPairs() []lockPair {
+	if m.pairsOK {
+		return m.lockPairs
+	}
+	sums := m.lockSummaries()
+	var pairs []lockPair
+	for _, name := range m.funcNames {
+		info := m.funcs[name]
+		d, states := runLockFlow(m, info.Pkg, info.Decl.Body)
+		d.replay(states, func(n ast.Node, s lockState) {
+			inspectHeader(n, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				held := heldCanonicals(s)
+				if len(held) == 0 {
+					return true
+				}
+				if op := lockOpOf(info.Pkg, call); op != nil {
+					if (op.op == "Lock" || op.op == "RLock") && op.canonical != "" {
+						for _, h := range held {
+							if h != op.canonical {
+								pairs = append(pairs, lockPair{before: h, after: op.canonical, pos: op.pos, pkg: info.Pkg})
+							}
+						}
+					}
+					return true
+				}
+				if c := m.callee(info.Pkg, call); c != nil {
+					acq := sums[c.Name].acquires
+					keys := make([]string, 0, len(acq))
+					for k := range acq {
+						keys = append(keys, k)
+					}
+					sort.Strings(keys)
+					for _, k := range keys {
+						for _, h := range held {
+							if h != k {
+								pairs = append(pairs, lockPair{before: h, after: k, pos: call.Pos(), pkg: info.Pkg, via: c.Name})
+							}
+						}
+					}
+				}
+				return true
+			})
+		}, nil)
+	}
+	m.lockPairs = pairs
+	m.pairsOK = true
+	return pairs
+}
+
+// heldCanonicals lists the canonical names of may-held locks, sorted.
+// Only locks whose acquisition site could be canonicalized (struct
+// fields, package-level vars) participate in cross-function ordering.
+func heldCanonicals(s lockState) []string {
+	var out []string
+	for expr := range s.may {
+		if c := s.canon[expr]; c != "" {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	register(Rule{
+		Name: "lockstate",
+		Doc: "held-lock-set analysis: Lock without Unlock on some path to " +
+			"return/panic (defer the unlock), double-lock self-deadlocks, " +
+			"unlocking a mutex that is not held, and lock-order inversions " +
+			"across functions (A under B here, B under A elsewhere)",
+		Run: runLockState,
+	})
+}
+
+func runLockState(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockBalance(pass, fd)
+		}
+	}
+	reportInversions(pass)
+}
+
+// checkLockBalance reports leak/double-lock/unheld-unlock findings for
+// one function.
+func checkLockBalance(pass *Pass, fd *ast.FuncDecl) {
+	d, states := runLockFlow(pass.Mod, pass.Pkg, fd.Body)
+	d.replay(states, func(n ast.Node, s lockState) {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return
+		}
+		if _, isGo := n.(*ast.GoStmt); isGo {
+			return
+		}
+		inspectHeader(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			op := lockOpOf(pass.Pkg, call)
+			if op == nil {
+				return true
+			}
+			held := s.may[op.expr]
+			switch op.op {
+			case "Lock":
+				if held != 0 {
+					pass.Reportf(op.pos,
+						"%s.Lock() while %s may already be held on a path to this point self-deadlocks; unlock first or restructure",
+						op.expr, op.expr)
+				}
+			case "RLock":
+				if held&lockW != 0 {
+					pass.Reportf(op.pos,
+						"%s.RLock() while %s may be write-locked on a path to this point self-deadlocks; unlock first or restructure",
+						op.expr, op.expr)
+				}
+			case "Unlock", "RUnlock":
+				if held == 0 {
+					pass.Reportf(op.pos,
+						"%s.%s() but %s is not locked on any path to this point",
+						op.expr, op.op, op.expr)
+				}
+			}
+			return true
+		})
+	}, func(exit lockState) {
+		leaked := make([]string, 0, len(exit.may))
+		for expr := range exit.may {
+			if !exit.deferred[expr] {
+				leaked = append(leaked, expr)
+			}
+		}
+		sort.Strings(leaked)
+		for _, expr := range leaked {
+			pass.Reportf(exit.site[expr],
+				"%s.Lock() is not released on every path out of %s (early return or panic leaks the lock); defer %s.Unlock() right after locking",
+				expr, funcName(fd), expr)
+		}
+	})
+}
+
+// reportInversions emits lock-order-inversion findings whose first
+// acquisition site lies in this package.
+func reportInversions(pass *Pass) {
+	pairs := pass.Mod.lockOrderPairs()
+	for _, p := range pairs {
+		if p.pkg != pass.Pkg {
+			continue
+		}
+		for _, q := range pairs {
+			if q.before == p.after && q.after == p.before {
+				qpos := q.pkg.Fset.Position(q.pos)
+				via := ""
+				if p.via != "" {
+					via = " (through " + shortFuncName(p.via) + ")"
+				}
+				pass.Reportf(p.pos,
+					"lock order inversion: %s acquired while holding %s%s, but %s is acquired while holding %s at %s:%d — pick one global order to avoid deadlock",
+					p.after, p.before, via, p.before, p.after, relBase(qpos.Filename), qpos.Line)
+				break
+			}
+		}
+	}
+}
+
+func relBase(filename string) string {
+	if i := strings.LastIndexByte(filename, '/'); i >= 0 {
+		return filename[i+1:]
+	}
+	return filename
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		return "method " + fd.Name.Name
+	}
+	return "function " + fd.Name.Name
+}

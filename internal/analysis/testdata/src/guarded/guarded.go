@@ -32,3 +32,61 @@ func (c *Counter) PeekSuppressed(k string) int {
 	//qpplint:ignore guardedfield fixture: approximate read, staleness is acceptable
 	return c.counts[k]
 }
+
+// IncThenRead unlocks before the final read: flow-sensitively wrong
+// even though the method does lock earlier in the body.
+func (c *Counter) IncThenRead(k string) int {
+	c.mu.Lock()
+	c.counts[k]++
+	c.mu.Unlock()
+	return c.counts[k] // want `Counter\.counts is guarded by mu`
+}
+
+// OneBranch holds the lock on only one path to the access, so the
+// must-held set is empty at the merge point.
+func (c *Counter) OneBranch(k string, lock bool) {
+	if lock {
+		c.mu.Lock()
+	}
+	c.counts[k]++ // want `Counter\.counts is guarded by mu`
+	if lock {
+		c.mu.Unlock()
+	}
+}
+
+// DeferUnlock keeps the lock held on every path out, including the
+// early return: no finding.
+func (c *Counter) DeferUnlock(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if k == "" {
+		return 0
+	}
+	return c.counts[k]
+}
+
+// Range creates its closure under the lock; the closure inherits the
+// held set at its creation point and stays clean.
+func (c *Counter) Range(f func(string, int)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	visit := func() {
+		for k, v := range c.counts {
+			f(k, v)
+		}
+	}
+	visit()
+}
+
+// Snapshot builds the closure before taking any lock, so the guarded
+// access inside it is unprotected.
+func (c *Counter) Snapshot() map[string]int {
+	out := map[string]int{}
+	collect := func() {
+		for k, v := range c.counts { // want `Counter\.counts is guarded by mu`
+			out[k] = v
+		}
+	}
+	collect()
+	return out
+}

@@ -1,0 +1,100 @@
+// Package hotalloc2 exercises the escape-aware hotalloc checks, which
+// only fire in functions reachable from a hot entry point (here the
+// Next method). The same patterns in the cold* functions stay silent.
+package hotalloc2
+
+type iter struct {
+	rows [][]string
+	pos  int
+	keys []string
+}
+
+// Next is the hot entry point; everything it calls is per-row.
+func (it *iter) Next() bool {
+	if it.pos >= len(it.rows) {
+		return false
+	}
+	row := it.rows[it.pos]
+	it.pos++
+	it.closures(row)
+	it.boxing(row)
+	it.growth(row)
+	it.preallocated(row)
+	it.reused(row)
+	it.suppressed(row)
+	return true
+}
+
+// closures allocates a capturing closure every iteration.
+func (it *iter) closures(row []string) {
+	for _, cell := range row {
+		emit := func() { it.keys = append(it.keys, cell) } // want `func literal captures cell, it inside a hot loop`
+		emit()
+	}
+	for range row {
+		// Capturing nothing costs nothing: the compiler hoists it.
+		check := func(s string) bool { return s == "" }
+		_ = check("")
+	}
+}
+
+func sink(v interface{}) { _ = v }
+
+// boxing converts a non-pointer value to interface{} per iteration.
+func (it *iter) boxing(row []string) {
+	for i := range row {
+		sink(i) // want `passing i boxes a int into an interface`
+	}
+	for range row {
+		sink("label") // constants box into static data: no finding
+		sink(it)      // pointers store inline in the interface word
+	}
+}
+
+// growth appends into a slice declared outside the loop with no
+// capacity hint and no reuse.
+func (it *iter) growth(row []string) {
+	var out []string
+	for _, c := range row {
+		out = append(out, c) // want `append grows out per iteration of a hot loop`
+	}
+	it.keys = out
+}
+
+// preallocated sizes the destination up front: clean.
+func (it *iter) preallocated(row []string) {
+	out := make([]string, 0, len(row))
+	for _, c := range row {
+		out = append(out, c)
+	}
+	it.keys = out
+}
+
+// reused reslices an existing backing array to zero length: clean.
+func (it *iter) reused(row []string) {
+	out := it.keys[:0]
+	for _, c := range row {
+		out = append(out, c)
+	}
+	it.keys = out
+}
+
+// suppressed documents a bounded append.
+func (it *iter) suppressed(row []string) {
+	var out []string
+	for _, c := range row {
+		//qpplint:ignore hotalloc fixture: bounded by column count, not row count
+		out = append(out, c)
+	}
+	it.keys = out
+}
+
+// coldGrowth has the same shape as growth but is unreachable from any
+// hot entry point, so the escape checks skip it.
+func (it *iter) coldGrowth(row []string) {
+	var out []string
+	for _, c := range row {
+		out = append(out, c)
+	}
+	it.keys = out
+}

@@ -1,0 +1,126 @@
+// Package lockstate exercises the held-lock-set rule: leaks on early
+// return and panic paths, double-locks, unlocking unheld mutexes, and
+// module-wide lock-order inversions.
+package lockstate
+
+import (
+	"errors"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// LeakOnError forgets the unlock on the error path.
+func (s *store) LeakOnError(fail bool) error {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) is not released on every path out of method LeakOnError`
+	if fail {
+		return errors.New("boom")
+	}
+	s.n++
+	s.mu.Unlock()
+	return nil
+}
+
+// PanicLeak loses the lock when the invariant check fires.
+func (s *store) PanicLeak() {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) is not released on every path`
+	if s.n < 0 {
+		panic("corrupt store")
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// DeferOK is the sanctioned shape: the deferred unlock covers the early
+// return, so nothing is reported.
+func (s *store) DeferOK(fail bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail {
+		return errors.New("boom")
+	}
+	s.n++
+	return nil
+}
+
+// BothBranches releases on every path without defer: still clean.
+func (s *store) BothBranches(reset bool) {
+	if reset {
+		s.mu.Lock()
+		s.n = 0
+		s.mu.Unlock()
+	} else {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// Double re-locks a mutex this goroutine already holds.
+func (s *store) Double() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s\.mu\.Lock\(\) while s\.mu may already be held`
+	s.mu.Unlock()
+}
+
+// UnlockFirst releases a mutex that was never taken.
+func (s *store) UnlockFirst() {
+	s.mu.Unlock() // want `s\.mu\.Unlock\(\) but s\.mu is not locked on any path`
+}
+
+type rw struct {
+	mu sync.RWMutex
+	v  int
+}
+
+// Upgrade read-locks under its own write lock, which self-deadlocks on
+// sync.RWMutex.
+func (r *rw) Upgrade() {
+	r.mu.Lock()
+	r.mu.RLock() // want `r\.mu\.RLock\(\) while r\.mu may be write-locked`
+	r.mu.Unlock()
+}
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// lockAB and lockBA acquire the package mutexes in opposite orders:
+// the classic AB/BA deadlock.
+func lockAB() {
+	muA.Lock()
+	muB.Lock() // want `lock order inversion: .*lockstate\.muB acquired while holding .*lockstate\.muA`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func lockBA() {
+	muB.Lock()
+	muA.Lock() // want `lock order inversion: .*lockstate\.muA acquired while holding .*lockstate\.muB`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// acquireB takes muB on behalf of its callers; viaInversion therefore
+// orders muA before muB through the call, inverting lockBA.
+func acquireB() {
+	muB.Lock()
+	muB.Unlock()
+}
+
+func viaInversion() {
+	muA.Lock()
+	acquireB() // want `lock order inversion: .*lockstate\.muB acquired while holding .*lockstate\.muA \(through .*acquireB\)`
+	muA.Unlock()
+}
+
+// Suppressed documents a deliberately unbalanced unlock (the matching
+// Lock lives in a caller).
+func (s *store) Suppressed() {
+	//qpplint:ignore lockstate fixture: lock transfer, the caller holds it
+	s.mu.Unlock()
+}

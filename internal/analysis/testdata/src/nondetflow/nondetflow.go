@@ -1,0 +1,68 @@
+// Package nondetflow exercises the interprocedural half of the
+// nondeterminism rule. The harness loads it under a deterministic-core
+// import path together with the nondetsrc helpers package, so the
+// module call graph crosses a package boundary.
+package nondetflow
+
+import (
+	"sort"
+
+	"example.com/helpers"
+)
+
+// Stamp reaches the wall clock one call deep.
+func Stamp() string {
+	s := helpers.NowString() // want `call to .*NowString reaches time\.Now in the deterministic core \(call chain: .*NowString -> time\.Now\)`
+	return s                 // want `return value depends on time\.Now via .*NowString -> time\.Now`
+}
+
+// DeepStamp reaches it two calls deep; the printed chain names every
+// hop.
+func DeepStamp() string {
+	s := helpers.Deep() // want `reaches time\.Now .*Deep -> .*NowString -> time\.Now`
+	return s            // want `return value depends on time\.Now`
+}
+
+// PickGroup returns a value tainted by map iteration order inside the
+// helper. The helper performs no primitive call, so only the tainted
+// return is reported.
+func PickGroup(m map[string]int) string {
+	k := helpers.FirstKey(m)
+	return k // want `return value depends on map iteration order via .*FirstKey -> map iteration order`
+}
+
+// Sorted calls the helper that sorts before returning: clean.
+func Sorted(m map[string]int) []string {
+	return helpers.SortedKeys(m)
+}
+
+// CollectSorted is the local collect-then-sort idiom: the sort call
+// sanitizes the collected slice.
+func CollectSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size depends only on the length of a tainted value, which is
+// deterministic.
+func Size(m map[string]int) int {
+	k := helpers.FirstKey(m)
+	return len(k)
+}
+
+// Overwritten kills the taint with a strong update before returning.
+func Overwritten(m map[string]int) string {
+	k := helpers.FirstKey(m)
+	k = "fixed"
+	return k
+}
+
+// Logged documents a deliberate wall-clock read.
+func Logged() string {
+	//qpplint:ignore nondeterminism fixture: progress logging may read the wall clock
+	return helpers.NowString()
+}

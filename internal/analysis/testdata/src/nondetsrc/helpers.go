@@ -1,0 +1,39 @@
+// Package helpers is a non-core utility package the interprocedural
+// nondeterminism fixture imports: the primitives live here, outside
+// the deterministic core, and only calls *from* the core are reported.
+package helpers
+
+import (
+	"sort"
+	"time"
+)
+
+// NowString reads the wall clock directly.
+func NowString() string {
+	return time.Now().Format(time.RFC3339)
+}
+
+// Deep reaches the clock through one more hop.
+func Deep() string {
+	return NowString()
+}
+
+// FirstKey returns whichever key map iteration yields first: its
+// result depends on map iteration order.
+func FirstKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// SortedKeys is the sanctioned collect-then-sort idiom; its result is
+// deterministic.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,16 @@
+// Package suppress exercises the unusedignore check: a stale ignore
+// comment (nothing to suppress) is itself a finding on full runs, while
+// a live one stays silent.
+package suppress
+
+// Stale names a rule that never fires on the next line.
+func Stale(x int) int {
+	//qpplint:ignore floateq: stale, integers below never compare floats // want `suppresses nothing`
+	return x + 1
+}
+
+// Live legitimately suppresses a float equality on the next line.
+func Live(a, b float64) bool {
+	//qpplint:ignore floateq: exact equality is the fixture's point
+	return a == b
+}

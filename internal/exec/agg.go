@@ -200,7 +200,9 @@ func (a *aggregate) drainHashed(ctx *execCtx) error {
 		states []aggState
 	}
 	groups := make(map[string]*group, a.groupHint())
-	var order []string // deterministic output order: first appearance
+	// Deterministic output order: first appearance. Sized like the hash
+	// table so per-group appends don't regrow it row by row.
+	order := make([]string, 0, a.groupHint())
 	for {
 		row, ok, err := a.child.Next(ctx)
 		if err != nil {

@@ -176,7 +176,7 @@ func (h *hashJoin) Next(ctx *execCtx) (plan.Row, bool, error) {
 		// Apply the join filter for semi/anti/left semantics before deciding
 		// match existence.
 		if h.node.JoinFilter != nil && len(matches) > 0 {
-			var kept []plan.Row
+			kept := make([]plan.Row, 0, len(matches))
 			for _, r := range matches {
 				h.scratch = concatInto(h.scratch, left, r)
 				if h.joinF.eval(ctx, h.scratch) {

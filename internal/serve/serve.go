@@ -421,6 +421,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) int {
 	names := qpp.PlanFeatureNames()
 	feats := qpp.PlanFeatures(node, snap.Plan.Mode)
 	for i, name := range names {
+		//qpplint:ignore hotalloc explain is a human-facing debug endpoint; one Fprintf per feature row is fine
 		fmt.Fprintf(&buf, "%-22s %g\n", name, feats[i])
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

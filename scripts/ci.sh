@@ -4,9 +4,13 @@
 #   1. gofmt       — formatting drift (includes testdata fixtures)
 #   2. go vet      — the toolchain's default analyzers
 #   3. go build    — everything compiles
-#   4. qpplint     — the repo's own invariants (determinism, map order,
-#                    guarded fields, float equality, dropped errors);
-#                    see internal/analysis and DESIGN.md
+#   4. qpplint     — the repo's own invariants (determinism taint, lock
+#                    state, guarded fields, hot-path allocations, map
+#                    order, float equality, dropped errors); writes the
+#                    machine-readable report to LINT.json next to the
+#                    BENCH_*.json artifacts and guards the analysis cost
+#                    with BenchmarkAnalyzeRepo; see internal/analysis
+#                    and DESIGN.md §12
 #   5. go test -race — the full suite under the race detector
 #   6. coverage    — statement coverage floor over the -short suite
 #   7. fuzz smoke  — 5s of FuzzParse on the SQL grammar
@@ -45,8 +49,25 @@ go vet ./...
 banner "go build ./..."
 go build ./...
 
-banner "qpplint ./..."
-go run ./cmd/qpplint ./...
+banner "qpplint ./... (report: LINT.json)"
+# The JSON report is written even when findings fail the gate, so a red
+# CI run still uploads the artifact explaining why.
+go run ./cmd/qpplint -json ./... >LINT.json || {
+	# Re-print the findings in human form for the console log.
+	go run ./cmd/qpplint ./... || true
+	exit 1
+}
+
+banner "qpplint cost guard (BenchmarkAnalyzeRepo)"
+lint_bench=$(go test -run '^$' -bench BenchmarkAnalyzeRepo -benchtime 1x ./internal/analysis | awk '/^BenchmarkAnalyzeRepo/ {print $3}')
+echo "full-repo analysis: ${lint_bench} ns/op"
+# Anything past 10s means the fixpoint engine regressed (diverging
+# summaries, quadratic blowup); the whole-repo pass runs in well under
+# a second today.
+awk -v ns="$lint_bench" 'BEGIN { exit !(ns+0 < 10000000000) }' || {
+	echo "full-repo analysis exceeded the 10s budget"
+	exit 1
+}
 
 banner "go test -race ./... $*"
 go test -race ./... "$@"
