@@ -410,11 +410,11 @@ func BenchmarkExecutionQ6(b *testing.B) {
 	}
 }
 
-// benchmarkExprQuery executes one planned instance of a template end to
-// end, with or without the expression compiler, reporting allocations.
-// The plan is built once outside the timer; each iteration re-runs it on
-// a fresh clock exactly as the workload layer does.
-func benchmarkExprQuery(b *testing.B, tmpl int, interpret bool) {
+// benchmarkExecQuery executes one planned instance of a template end to
+// end under the given engine options, reporting allocations. The plan is
+// built once outside the timer; each iteration re-runs it on a fresh
+// clock exactly as the workload layer does.
+func benchmarkExecQuery(b *testing.B, tmpl int, opts exec.Options) {
 	skipIfShort(b)
 	db, err := tpch.Generate(tpch.GenConfig{ScaleFactor: 0.005, Seed: 6})
 	if err != nil {
@@ -429,7 +429,6 @@ func benchmarkExprQuery(b *testing.B, tmpl int, interpret bool) {
 		b.Fatal(err)
 	}
 	prof := vclock.DefaultProfile()
-	opts := exec.Options{Interpret: interpret}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -443,7 +442,7 @@ func benchmarkExprQuery(b *testing.B, tmpl int, interpret bool) {
 // expression compiler (the default execution mode).
 func BenchmarkExprCompiled(b *testing.B) {
 	for _, tmpl := range []int{1, 6, 18} {
-		b.Run(fmt.Sprintf("q%d", tmpl), func(b *testing.B) { benchmarkExprQuery(b, tmpl, false) })
+		b.Run(fmt.Sprintf("q%d", tmpl), func(b *testing.B) { benchmarkExecQuery(b, tmpl, exec.Options{}) })
 	}
 }
 
@@ -453,7 +452,18 @@ func BenchmarkExprCompiled(b *testing.B) {
 // BENCH_exec.json.
 func BenchmarkExprInterpreted(b *testing.B) {
 	for _, tmpl := range []int{1, 6, 18} {
-		b.Run(fmt.Sprintf("q%d", tmpl), func(b *testing.B) { benchmarkExprQuery(b, tmpl, true) })
+		b.Run(fmt.Sprintf("q%d", tmpl), func(b *testing.B) { benchmarkExecQuery(b, tmpl, exec.Options{Interpret: true}) })
+	}
+}
+
+// BenchmarkExecutionBatch runs the same Q1/Q6/Q18 hot paths through the
+// batched columnar engine (Options.Vectorize). The ratio to
+// BenchmarkExprCompiled is the batch-engine speedup recorded in
+// BENCH_exec.json; results and virtual clock readings are bit-identical
+// to the row engine by construction (see the differential suite).
+func BenchmarkExecutionBatch(b *testing.B) {
+	for _, tmpl := range []int{1, 6, 18} {
+		b.Run(fmt.Sprintf("q%d", tmpl), func(b *testing.B) { benchmarkExecQuery(b, tmpl, exec.Options{Vectorize: true}) })
 	}
 }
 

@@ -1,0 +1,58 @@
+// Package hotalloc3 exercises the batch-engine hot entry points. The
+// escape-aware hotalloc checks treat OpenBatch/NextBatch/ReScanBatch
+// exactly like Open/Next/ReScan: findings fire inside them and inside
+// anything they reach over the static call graph, while the identical
+// pattern in a cold method stays silent.
+package hotalloc3
+
+type batch struct {
+	sel  []int32
+	rows [][]float64
+}
+
+type sink struct{ vals []any }
+
+func (s *sink) add(v any) { s.vals = append(s.vals, v) }
+
+type rowStat struct {
+	idx int32
+	sum float64
+}
+
+type vecIter struct {
+	b     batch
+	stats sink
+}
+
+// NextBatch is a hot entry point: boxing a struct per selected row
+// allocates once per row, not once per batch.
+func (it *vecIter) NextBatch() (*batch, bool) {
+	for _, w := range it.b.sel {
+		st := rowStat{idx: w, sum: it.b.rows[w][0]}
+		it.stats.add(st) // want `passing st boxes a .*rowStat into an interface per iteration of a hot loop`
+	}
+	return &it.b, true
+}
+
+// OpenBatch reaches claim over the call graph, so findings inside claim
+// fire too.
+func (it *vecIter) OpenBatch() error {
+	it.claim()
+	return nil
+}
+
+func (it *vecIter) claim() {
+	for _, w := range it.b.sel {
+		it.stats.add(w) // want `passing w boxes a int32 into an interface`
+	}
+}
+
+// coldDescribe is not an entry point and nothing hot calls it: the same
+// boxing pattern must not be reported.
+func (it *vecIter) coldDescribe() {
+	for _, w := range it.b.sel {
+		it.stats.add(w)
+	}
+}
+
+var _ = (*vecIter).coldDescribe

@@ -30,7 +30,14 @@ func (a *aggState) update(ctx *execCtx, row plan.Row) {
 		return
 	}
 	ctx.clock.CPUOps(a.argCost.Ops, a.argCost.NumericOps)
-	v := a.arg(ctx.ectx, row)
+	a.updateValue(ctx, a.arg(ctx.ectx, row))
+}
+
+// updateValue accumulates an already-evaluated argument value. The batch
+// engine's aggregation kernels materialize argument columns and feed them
+// through here, so accumulation and its clock charges stay one code path
+// for both engines. Callers have already charged the argument's own cost.
+func (a *aggState) updateValue(ctx *execCtx, v types.Value) {
 	if v.IsNull() {
 		return
 	}
@@ -108,22 +115,60 @@ func (a *aggState) result() types.Value {
 type aggregate struct {
 	node  *plan.Node
 	child iterator
+	// bchild, when set, replaces child: the batch engine drains the scan
+	// window-at-a-time with vectorized argument evaluation (drainHashedVec).
+	// Exactly one of child/bchild is non-nil.
+	bchild *vSeqScan
 
 	results    []plan.Row
 	pos        int
 	having     compiledFilter
 	groupFns   []evalFn
+	groupCols  []int // when every GROUP BY expr is a bare column: its ordinals
 	groupCosts plan.ExprCost
 	stateTmpl  []aggState // per-execution template with compiled arguments
 	keyBuf     []byte     // reused rendered group key for the current row
 	valBuf     []types.Value
 	drained    bool
+
+	// Batched-drain argument plan, one entry per aggregate (bchild only).
+	argMode []int8
+	argCol  []int   // argColMode: column ordinal read straight off the row
+	argVec  []*fvec // argFloatMode: lowered column-at-a-time evaluator
+	argVals [][]float64
+	argNull [][]bool
+
+	// Group-allocation slabs: per-group objects are carved out of fixed-
+	// capacity chunks so a large GROUP BY makes dozens of allocations
+	// instead of three per group. Chunks are never regrown in place
+	// (pointers into them must stay valid); a full chunk is simply
+	// replaced and kept alive by the groups referencing it.
+	slabGroups []aggGroup
+	slabStates []aggState
+	slabKeys   []types.Value
 }
+
+// Argument evaluation modes for the batched drain.
+const (
+	argFnMode    int8 = iota // compiled closure (the row engine's path)
+	argNoneMode              // count(*): no argument at all
+	argColMode               // bare column reference
+	argFloatMode             // lowered always-float expression
+)
 
 // Open implements iterator.
 func (a *aggregate) Open(ctx *execCtx) error {
 	a.having = ctx.compileFilter(a.node.Filter)
 	a.groupFns = ctx.compileScalars(a.node.GroupBy)
+	a.groupCols = a.groupCols[:0]
+	for _, g := range a.node.GroupBy {
+		col, ok := g.(*plan.Col)
+		if !ok {
+			a.groupCols = nil
+			break
+		}
+		a.groupCols = append(a.groupCols, col.Idx)
+	}
 	a.groupCosts = plan.ExprCost{}
 	for _, g := range a.node.GroupBy {
 		a.groupCosts = plan.ExprCost{
@@ -143,21 +188,110 @@ func (a *aggregate) Open(ctx *execCtx) error {
 	a.results = nil
 	a.pos = 0
 	a.drained = false
+	if a.bchild != nil {
+		a.classifyArgs()
+		return a.bchild.OpenBatch(ctx)
+	}
 	return a.child.Open(ctx)
 }
 
-// newStates copies the compiled template into a fresh group accumulator.
+// classifyArgs picks the batched evaluation mode for each aggregate
+// argument: nothing for count(*), a direct row read for bare columns, a
+// lowered float kernel when the expression is statically Float-or-NULL,
+// and the compiled closure otherwise. Every mode charges the clock
+// exactly as aggState.update does.
+func (a *aggregate) classifyArgs() {
+	n := len(a.node.Aggs)
+	a.argMode = make([]int8, n)
+	a.argCol = make([]int, n)
+	a.argVec = make([]*fvec, n)
+	a.argVals = make([][]float64, n)
+	a.argNull = make([][]bool, n)
+	cols := a.bchild.table.Columns()
+	for i, s := range a.node.Aggs {
+		switch {
+		case s.Arg == nil:
+			a.argMode[i] = argNoneMode
+		default:
+			if col, ok := s.Arg.(*plan.Col); ok {
+				a.argMode[i] = argColMode
+				a.argCol[i] = col.Idx
+				continue
+			}
+			if fv, afloat := lowerFvec(s.Arg, cols); fv != nil && afloat {
+				a.argMode[i] = argFloatMode
+				a.argVec[i] = fv
+				continue
+			}
+			a.argMode[i] = argFnMode
+		}
+	}
+}
+
+// slabChunk is the number of groups each slab chunk holds, sized from
+// the optimizer's output estimate so a four-group aggregate does not
+// reserve a thousand-group chunk.
+func (a *aggregate) slabChunk() int {
+	hint := a.groupHint()
+	if hint < 16 {
+		hint = 16
+	}
+	if hint > 4096 {
+		hint = 4096
+	}
+	return hint
+}
+
+// newStates copies the compiled template into a fresh group accumulator
+// carved from the state slab.
 func (a *aggregate) newStates() []aggState {
-	out := make([]aggState, len(a.stateTmpl))
+	n := len(a.stateTmpl)
+	if n == 0 {
+		return nil
+	}
+	if len(a.slabStates)+n > cap(a.slabStates) {
+		a.slabStates = make([]aggState, 0, a.slabChunk()*n)
+	}
+	lo := len(a.slabStates)
+	a.slabStates = a.slabStates[:lo+n]
+	out := a.slabStates[lo : lo+n : lo+n] // capped: appends can't cross groups
 	copy(out, a.stateTmpl)
 	return out
 }
 
+// copyKeys snapshots the current group-key values out of the reused
+// valBuf into the key slab.
+func (a *aggregate) copyKeys() []types.Value {
+	n := len(a.valBuf)
+	if n == 0 {
+		return nil
+	}
+	if len(a.slabKeys)+n > cap(a.slabKeys) {
+		a.slabKeys = make([]types.Value, 0, a.slabChunk()*n)
+	}
+	lo := len(a.slabKeys)
+	a.slabKeys = a.slabKeys[:lo+n]
+	out := a.slabKeys[lo : lo+n : lo+n] // capped: appends can't cross groups
+	copy(out, a.valBuf)
+	return out
+}
+
+// newGroup carves one group out of the group slab.
+func (a *aggregate) newGroup(keys []types.Value) *aggGroup {
+	if len(a.slabGroups) == cap(a.slabGroups) {
+		a.slabGroups = make([]aggGroup, 0, a.slabChunk())
+	}
+	a.slabGroups = append(a.slabGroups, aggGroup{keys: keys, states: a.newStates()})
+	return &a.slabGroups[len(a.slabGroups)-1]
+}
+
 func (a *aggregate) drain(ctx *execCtx) error {
 	a.drained = true
-	switch a.node.Op {
-	case plan.OpGroupAgg:
+	switch {
+	case a.node.Op == plan.OpGroupAgg:
 		return a.drainSorted(ctx)
+	case a.bchild != nil:
+		return a.drainHashedVec(ctx)
 	default:
 		return a.drainHashed(ctx)
 	}
@@ -170,6 +304,17 @@ func (a *aggregate) groupKey(ctx *execCtx, row plan.Row) {
 	ctx.clock.CPUOps(a.groupCosts.Ops, a.groupCosts.NumericOps)
 	a.keyBuf = a.keyBuf[:0]
 	a.valBuf = a.valBuf[:0]
+	if a.groupCols != nil { // all bare columns: skip the closure calls
+		for i, idx := range a.groupCols {
+			v := row[idx]
+			a.valBuf = append(a.valBuf, v)
+			if i > 0 {
+				a.keyBuf = append(a.keyBuf, 0)
+			}
+			a.keyBuf = v.AppendKey(a.keyBuf)
+		}
+		return
+	}
 	for i, g := range a.groupFns {
 		v := g(ctx.ectx, row)
 		a.valBuf = append(a.valBuf, v)
@@ -194,12 +339,39 @@ func (a *aggregate) groupHint() int {
 	return est
 }
 
-func (a *aggregate) drainHashed(ctx *execCtx) error {
-	type group struct {
-		keys   []types.Value
-		states []aggState
+// aggGroup is one hashed group's key values and accumulator states.
+type aggGroup struct {
+	keys   []types.Value
+	states []aggState
+}
+
+// lookupGroup finds or creates the group for the current row, charging
+// the group-key render and hash probe exactly as the row engine does.
+// Shared by the row and batched hashed drains.
+func (a *aggregate) lookupGroup(ctx *execCtx, row plan.Row, groups map[string]*aggGroup, order *[]string) *aggGroup {
+	if len(a.node.GroupBy) == 0 {
+		if len(groups) == 0 {
+			g := a.newGroup(nil)
+			groups[""] = g
+			*order = append(*order, "")
+			return g
+		}
+		return groups[""]
 	}
-	groups := make(map[string]*group, a.groupHint())
+	a.groupKey(ctx, row)
+	ctx.clock.HashOps(1)
+	if g, ok := groups[string(a.keyBuf)]; ok { // no-alloc probe with reused buffer
+		return g
+	}
+	key := string(a.keyBuf)
+	g := a.newGroup(a.copyKeys())
+	groups[key] = g
+	*order = append(*order, key)
+	return g
+}
+
+func (a *aggregate) drainHashed(ctx *execCtx) error {
+	groups := make(map[string]*aggGroup, a.groupHint())
 	// Deterministic output order: first appearance. Sized like the hash
 	// table so per-group appends don't regrow it row by row.
 	order := make([]string, 0, a.groupHint())
@@ -212,35 +384,75 @@ func (a *aggregate) drainHashed(ctx *execCtx) error {
 			break
 		}
 		ctx.clock.CPUTuples(1)
-		var g *group
-		if len(a.node.GroupBy) == 0 {
-			if len(groups) == 0 {
-				g = &group{states: a.newStates()}
-				groups[""] = g
-				order = append(order, "")
-			} else {
-				g = groups[""]
-			}
-		} else {
-			a.groupKey(ctx, row)
-			ctx.clock.HashOps(1)
-			var ok bool
-			g, ok = groups[string(a.keyBuf)] // no-alloc probe with reused buffer
-			if !ok {
-				key := string(a.keyBuf)
-				keys := append([]types.Value(nil), a.valBuf...)
-				g = &group{keys: keys, states: a.newStates()}
-				groups[key] = g
-				order = append(order, key)
-			}
-		}
+		g := a.lookupGroup(ctx, row, groups, &order)
 		for i := range g.states {
 			g.states[i].update(ctx, row)
 		}
 	}
+	return a.finishHashed(ctx, groups, order)
+}
+
+// drainHashedVec is the batched hashed drain: it consumes scan windows
+// directly, materializes lowered aggregate arguments column-at-a-time,
+// and then walks the selection replaying charges per row. The per-row
+// charge sequence — scan replay, tuple CPU, group key, hash probe, then
+// per-aggregate argument cost and accumulation — is drainHashed's exactly.
+func (a *aggregate) drainHashedVec(ctx *execCtx) error {
+	groups := make(map[string]*aggGroup, a.groupHint())
+	order := make([]string, 0, a.groupHint())
+	for {
+		b, ok, err := a.bchild.NextBatch(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		sel := b.Sel
+		if len(sel) == 0 {
+			continue
+		}
+		for j, fv := range a.argVec {
+			if a.argMode[j] == argFloatMode {
+				a.argVals[j], a.argNull[j] = fv.eval(b.lo, sel)
+			}
+		}
+		rows := b.Rows
+		for si, w := range sel {
+			b.BeforeRow(ctx, w)
+			row := rows[w]
+			ctx.clock.CPUTuples(1)
+			g := a.lookupGroup(ctx, row, groups, &order)
+			for j := range g.states {
+				st := &g.states[j]
+				switch a.argMode[j] {
+				case argNoneMode:
+					st.count++
+				case argColMode:
+					ctx.clock.CPUOps(st.argCost.Ops, st.argCost.NumericOps)
+					st.updateValue(ctx, row[a.argCol[j]])
+				case argFloatMode:
+					ctx.clock.CPUOps(st.argCost.Ops, st.argCost.NumericOps)
+					if nm := a.argNull[j]; nm != nil && nm[si] {
+						continue
+					}
+					st.updateValue(ctx, types.Float(a.argVals[j][si]))
+				default: // argFnMode
+					st.update(ctx, row)
+				}
+			}
+		}
+	}
+	return a.finishHashed(ctx, groups, order)
+}
+
+// finishHashed is the shared tail of both hashed drains: the empty-input
+// single group, spill accounting, the pipeline barrier, and emission in
+// first-appearance order into a result buffer presized to the group count.
+func (a *aggregate) finishHashed(ctx *execCtx, groups map[string]*aggGroup, order []string) error {
 	// A query with no GROUP BY emits exactly one row even on empty input.
 	if len(a.node.GroupBy) == 0 && len(groups) == 0 {
-		groups[""] = &group{states: a.newStates()}
+		groups[""] = a.newGroup(nil)
 		order = append(order, "")
 	}
 	// Spill accounting when the group table exceeds work_mem. Cells are
@@ -257,6 +469,9 @@ func (a *aggregate) drainHashed(ctx *execCtx) error {
 		a.node.Act.Pages += pages
 	}
 	ctx.clock.Barrier()
+	if a.results == nil {
+		a.results = make([]plan.Row, 0, len(order))
+	}
 	for _, key := range order {
 		g := groups[key]
 		a.emit(ctx, g.keys, g.states)
@@ -336,6 +551,9 @@ func (a *aggregate) ReScan(ctx *execCtx, outer plan.Row) error {
 		a.results = nil
 		a.drained = false
 		a.pos = 0
+		if a.bchild != nil {
+			return a.bchild.ReScanBatch(ctx, outer)
+		}
 		return a.child.ReScan(ctx, outer)
 	}
 	a.pos = 0
@@ -343,4 +561,10 @@ func (a *aggregate) ReScan(ctx *execCtx, outer plan.Row) error {
 }
 
 // Close implements iterator.
-func (a *aggregate) Close() { a.child.Close() }
+func (a *aggregate) Close() {
+	if a.bchild != nil {
+		a.bchild.CloseBatch()
+		return
+	}
+	a.child.Close()
+}

@@ -46,6 +46,14 @@ type Options struct {
 	// times; this escape hatch exists for the differential tests and as a
 	// debugging aid.
 	Interpret bool
+	// Vectorize runs the batched columnar engine: sequential scans produce
+	// ~1k-row windows with kernel-evaluated selection vectors, and batched
+	// consumers (hashed aggregation today) process them window-at-a-time.
+	// Like Interpret, it changes real time only: rows and virtual times are
+	// identical to the row engine, which remains the differential oracle
+	// (vector_test.go pins the equivalence). Operators without a batched
+	// form compose through a row adapter. Ignored when Interpret is set.
+	Vectorize bool
 }
 
 // Result is the outcome of a query execution.
@@ -62,10 +70,14 @@ type execCtx struct {
 	ectx  *plan.Ctx
 	limit float64
 	trace *obs.Trace
-	// compiled caches one closure per Scalar node for this execution, so
-	// sub-plans — whose iterator trees are rebuilt per invocation — compile
-	// each expression once. Nil when Options.Interpret is set.
+	// compiled caches one closure per Scalar node, so sub-plans — whose
+	// iterator trees are rebuilt per invocation — compile each expression
+	// once. The map is parked on the plan root's ExecCache between Runs, so
+	// repeated executions of one plan tree skip compilation entirely. Nil
+	// when Options.Interpret is set.
 	compiled map[plan.Scalar]evalFn
+	// vectorize routes eligible operators through the batch engine.
+	vectorize bool
 }
 
 func (c *execCtx) overTime() bool {
@@ -93,8 +105,18 @@ func Run(db *storage.Database, root *plan.Node, clock *vclock.Clock, opts Option
 
 	ectx := &plan.Ctx{Params: make([]types.Value, root.NumParams)}
 	ctx := &execCtx{db: db, clock: clock, ectx: ectx, limit: opts.TimeLimit, trace: opts.Trace}
+	ctx.vectorize = opts.Vectorize && !opts.Interpret
 	if !opts.Interpret {
-		ctx.compiled = make(map[plan.Scalar]evalFn)
+		// Closures are pure functions of the plan tree, so they survive
+		// across Runs on the root's ExecCache (plan trees are never shared
+		// between concurrent Runs). Repeat executions — the workload layer's
+		// steady state — compile nothing and allocate no cache.
+		if cached, ok := root.ExecCache.(map[plan.Scalar]evalFn); ok {
+			ctx.compiled = cached
+		} else {
+			ctx.compiled = make(map[plan.Scalar]evalFn)
+			root.ExecCache = ctx.compiled
+		}
 	}
 
 	// Correlated sub-plans are (re)executed on demand through this hook.
@@ -190,6 +212,12 @@ func build(ctx *execCtx, n *plan.Node, reuse bool) (iterator, error) {
 	var inner iterator
 	switch n.Op {
 	case plan.OpSeqScan:
+		if vs := vecScan(ctx, n); vs != nil {
+			// The batch scan manages its own actuals and spans, so its row
+			// adapter is installed without an instrumented wrapper (which
+			// would double-count).
+			return &batchToRow{src: vs}, nil
+		}
 		t, ok := ctx.db.Table(n.Table)
 		if !ok {
 			return nil, fmt.Errorf("exec: unknown table %q", n.Table)
@@ -239,9 +267,13 @@ func build(ctx *execCtx, n *plan.Node, reuse bool) (iterator, error) {
 		}
 		inner = &passthrough{node: n, child: child}
 	case plan.OpHashJoin, plan.OpHashSemiJoin, plan.OpHashAntiJoin:
-		// Probe rows are held while their matches drain; build rows live in
-		// the hash table.
-		left, err := build(ctx, n.Children[0], false)
+		// Build rows live in the hash table. Probe rows are safe to reuse
+		// under the parent's retention contract: the join never re-reads the
+		// current probe row after pulling the next one — matches drain
+		// against a held row, and semi/anti forward the row itself, which
+		// the parent is done with before the join advances — so the parent's
+		// reuse flag propagates to the probe child.
+		left, err := build(ctx, n.Children[0], reuse)
 		if err != nil {
 			return nil, err
 		}
@@ -275,6 +307,15 @@ func build(ctx *execCtx, n *plan.Node, reuse bool) (iterator, error) {
 		}
 		inner = &nestedLoop{node: n, outer: left, inner: right, reuse: reuse}
 	case plan.OpHashAggregate, plan.OpGroupAgg, plan.OpAggregate:
+		// Hashed aggregation over a batchable scan drains it window-at-a-
+		// time with vectorized argument evaluation; GroupAggregate needs
+		// its input ordered, which only the row path guarantees it sees.
+		if n.Op != plan.OpGroupAgg {
+			if vs := vecScan(ctx, n.Children[0]); vs != nil {
+				inner = &aggregate{node: n, bchild: vs}
+				break
+			}
+		}
 		child, err := build(ctx, n.Children[0], true) // rows only accumulated
 		if err != nil {
 			return nil, err

@@ -19,7 +19,7 @@ type sortOp struct {
 
 // Open implements iterator.
 func (s *sortOp) Open(ctx *execCtx) error {
-	s.rows = nil
+	s.rows = presizeRows(ctx, s.node)
 	s.pos = 0
 	s.done = false
 	return s.child.Open(ctx)
@@ -116,7 +116,7 @@ type materialize struct {
 
 // Open implements iterator.
 func (m *materialize) Open(ctx *execCtx) error {
-	m.rows = nil
+	m.rows = presizeRows(ctx, m.node)
 	m.pos = 0
 	m.filled = false
 	m.spilled = 0
@@ -279,6 +279,33 @@ func (p *project) ReScan(ctx *execCtx, outer plan.Row) error {
 
 // Close implements iterator.
 func (p *project) Close() { p.child.Close() }
+
+// presizeRows allocates a buffering operator's row slice from the
+// optimizer's cardinality estimate. The capacity is clamped to what
+// work_mem could hold at the estimated row width (an input past that
+// point spills anyway, and append-regrowth is cheap next to spill I/O)
+// and to a hard cap so a runaway estimate cannot reserve gigabytes.
+func presizeRows(ctx *execCtx, n *plan.Node) []plan.Row {
+	est := n.Est.Rows
+	if est <= 0 {
+		return nil
+	}
+	width := n.Est.Width
+	if width <= 16 {
+		width = 16
+	}
+	if memCap := float64(ctx.clock.WorkMemPages()) * 8192 / width; est > memCap {
+		est = memCap
+	}
+	const hardCap = 1 << 20
+	if est > hardCap {
+		est = hardCap
+	}
+	if est < 1 {
+		est = 1
+	}
+	return make([]plan.Row, 0, int(est))
+}
 
 func maxInt(a, b int) int {
 	if a > b {

@@ -1,0 +1,113 @@
+package exec
+
+// Vectorized (batched columnar) execution. Batch producers hand out
+// windows of up to batchSize rows at a time, with the filter already
+// evaluated into a selection vector by type-specialized kernels over the
+// table's column vectors. The one non-negotiable constraint is that the
+// virtual clock must be charged *identically* to the row engine — the
+// device model's I/O-overlap credit and float accumulation both make
+// total virtual time sensitive to charge order, so batch-at-a-time
+// charging would drift. The batch path therefore separates data movement
+// from accounting: kernels compute selections and values without touching
+// the clock, and every charge the row engine would have made for a row
+// (its page read, per-tuple CPU, filter cost) is replayed lazily, in
+// exact row order, when a consumer claims the row via Batch.BeforeRow.
+// A consumer that interleaves BeforeRow with its own per-row charges
+// reproduces the row engine's charge stream bit for bit.
+//
+// The row engine stays intact as the differential oracle: Options.
+// Vectorize mirrors Options.Interpret, and vector_test.go pins rows,
+// virtual latency, and per-node actuals across the two engines.
+
+import "qpp/internal/plan"
+
+// batchSize is the row-window width of the batch engine: large enough to
+// amortize per-batch work, small enough that a window's column slices and
+// kernel scratch stay cache-resident.
+const batchSize = 1024
+
+// batchIterator is the batch-producing operator contract, mirroring
+// iterator one level up: OpenBatch/NextBatch/ReScanBatch/CloseBatch
+// correspond to Open/Next/ReScan/Close.
+type batchIterator interface {
+	OpenBatch(*execCtx) error
+	// NextBatch produces the next window; ok=false signals exhaustion.
+	// The returned batch is only valid until the next NextBatch call.
+	NextBatch(*execCtx) (b *Batch, ok bool, err error)
+	ReScanBatch(ctx *execCtx, outer plan.Row) error
+	CloseBatch()
+}
+
+// Batch is one window of rows from a batch producer: the full row-major
+// window plus the selection vector the producer's filter kernels built.
+// Consumers iterate Sel in order, calling BeforeRow before charging their
+// own per-row work, so producer-side clock charges replay in exactly the
+// row engine's order.
+type Batch struct {
+	// Rows is the unfiltered window, aliasing the producer's storage.
+	Rows []plan.Row
+	// Sel lists the window-relative indices that passed the producer's
+	// filter, ascending.
+	Sel []int32
+
+	// lo is the absolute offset of Rows[0] in the producing table; kernels
+	// and the charge replay use it to address full-table column vectors.
+	lo   int
+	scan *vSeqScan
+}
+
+// BeforeRow replays the scan-side charges owed up to and including window
+// row i — page reads at page boundaries, per-tuple CPU, and filter cost
+// for i and every unselected row before it — exactly as the row engine
+// would have paid them before emitting the row, and records the emission
+// in the scan node's actuals. Consumers must call it once per selected
+// row, in selection order.
+func (b *Batch) BeforeRow(ctx *execCtx, i int32) {
+	b.scan.claimRow(ctx, b.lo+int(i))
+}
+
+// batchToRow adapts a batch producer to the row iterator contract for
+// consumers without a batched implementation. It is installed *without*
+// an instrumented wrapper: the producer manages its own plan-node
+// actuals, so wrapping would double-count. Because the producer replays
+// its charges as each selected row is claimed, the adapter's charge
+// stream — and therefore the virtual clock — is identical to the row
+// operator it replaces.
+type batchToRow struct {
+	src batchIterator
+	b   *Batch
+	pos int
+}
+
+// Open implements iterator.
+func (a *batchToRow) Open(ctx *execCtx) error {
+	a.b, a.pos = nil, 0
+	return a.src.OpenBatch(ctx)
+}
+
+// Next implements iterator.
+func (a *batchToRow) Next(ctx *execCtx) (plan.Row, bool, error) {
+	for {
+		if a.b != nil && a.pos < len(a.b.Sel) {
+			i := a.b.Sel[a.pos]
+			a.pos++
+			a.b.BeforeRow(ctx, i)
+			return a.b.Rows[i], true, nil
+		}
+		b, ok, err := a.src.NextBatch(ctx)
+		if err != nil || !ok {
+			a.b = nil
+			return nil, false, err
+		}
+		a.b, a.pos = b, 0
+	}
+}
+
+// ReScan implements iterator.
+func (a *batchToRow) ReScan(ctx *execCtx, outer plan.Row) error {
+	a.b, a.pos = nil, 0
+	return a.src.ReScanBatch(ctx, outer)
+}
+
+// Close implements iterator.
+func (a *batchToRow) Close() { a.src.CloseBatch() }

@@ -1,0 +1,323 @@
+package exec
+
+// Differential tests for the batched columnar engine: Options.Vectorize
+// must change real time only. Whole-query runs across every TPC-H
+// template are checked for bit-identical result rows and virtual clock
+// readings against the row engine, and per-node actuals must agree —
+// integer counters and completion timestamps exactly, the two float
+// accumulators (start-time/run-time) to within float-summation
+// regrouping of the batch scan's window tails. Selection and float
+// kernels are additionally property-tested against the interpreter on
+// randomized columns covering NULL/NaN/±Inf edges.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qpp/internal/obs"
+	"qpp/internal/opt"
+	"qpp/internal/plan"
+	"qpp/internal/tpch"
+	"qpp/internal/types"
+	"qpp/internal/vclock"
+)
+
+// nearTime compares float time accumulators up to summation regrouping:
+// the batch scan settles a window tail in its own clock delta where the
+// row engine folds it into the next row's delta, so the low bits of a
+// scan's start-time/run-time sums may differ while every charge (and so
+// every absolute clock reading) is identical.
+func nearTime(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+type actRec struct {
+	op  plan.OpType
+	act plan.Actuals
+}
+
+func collectActs(root *plan.Node) []actRec {
+	var out []actRec
+	root.Walk(func(n *plan.Node) {
+		out = append(out, actRec{op: n.Op, act: n.Act})
+	})
+	return out
+}
+
+// TestVectorizedMatchesRowEngine runs one instance of every TPC-H
+// template under the row engine and the batch engine and requires
+// identical rows, an identical virtual clock, and matching per-node
+// actuals. A traced vectorized run must match the untraced one exactly
+// (tracing never writes to the clock).
+func TestVectorizedMatchesRowEngine(t *testing.T) {
+	db := diffDB(t)
+	for _, tmpl := range allTemplates() {
+		tmpl := tmpl
+		t.Run(fmt.Sprintf("t%d", tmpl), func(t *testing.T) {
+			qs, err := tpch.GenWorkload([]int{tmpl}, 1, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := qs[0]
+			run := func(vectorize, traced bool) (*Result, []actRec) {
+				node, err := opt.PlanSQL(db, q.SQL)
+				if err != nil {
+					t.Fatalf("plan: %v", err)
+				}
+				clock := vclock.NewClock(vclock.DefaultProfile(), int64(900+tmpl))
+				o := Options{Vectorize: vectorize}
+				if traced {
+					o.Trace = obs.NewTrace(clock)
+				}
+				res, err := Run(db, node, clock, o)
+				if err != nil {
+					t.Fatalf("run (vectorize=%v): %v", vectorize, err)
+				}
+				return res, collectActs(node)
+			}
+			rowRes, rowActs := run(false, false)
+			vecRes, vecActs := run(true, false)
+			tracedRes, _ := run(true, true)
+
+			if math.Float64bits(rowRes.Elapsed) != math.Float64bits(vecRes.Elapsed) {
+				t.Fatalf("virtual time diverged: row %.12f, vectorized %.12f",
+					rowRes.Elapsed, vecRes.Elapsed)
+			}
+			if math.Float64bits(tracedRes.Elapsed) != math.Float64bits(vecRes.Elapsed) {
+				t.Fatalf("tracing perturbed the vectorized clock: %.12f vs %.12f",
+					tracedRes.Elapsed, vecRes.Elapsed)
+			}
+			if len(rowRes.Rows) != len(vecRes.Rows) {
+				t.Fatalf("row count diverged: row %d, vectorized %d",
+					len(rowRes.Rows), len(vecRes.Rows))
+			}
+			for i := range rowRes.Rows {
+				if len(rowRes.Rows[i]) != len(vecRes.Rows[i]) {
+					t.Fatalf("row %d arity diverged", i)
+				}
+				for j := range rowRes.Rows[i] {
+					if !sameValue(rowRes.Rows[i][j], vecRes.Rows[i][j]) {
+						t.Fatalf("row %d col %d diverged: row engine %#v, vectorized %#v",
+							i, j, rowRes.Rows[i][j], vecRes.Rows[i][j])
+					}
+				}
+			}
+
+			if len(rowActs) != len(vecActs) {
+				t.Fatalf("plan shape diverged: %d vs %d nodes", len(rowActs), len(vecActs))
+			}
+			for i := range rowActs {
+				r, v := rowActs[i], vecActs[i]
+				if r.op != v.op {
+					t.Fatalf("node %d operator diverged: %s vs %s", i, r.op, v.op)
+				}
+				if r.act.Executed != v.act.Executed || r.act.Loops != v.act.Loops {
+					t.Errorf("node %d (%s) execution counters diverged: row %+v, vectorized %+v",
+						i, r.op, r.act, v.act)
+				}
+				if r.act.Rows != v.act.Rows || r.act.Pages != v.act.Pages {
+					t.Errorf("node %d (%s) rows/pages diverged: row %v/%v, vectorized %v/%v",
+						i, r.op, r.act.Rows, r.act.Pages, v.act.Rows, v.act.Pages)
+				}
+				if math.Float64bits(r.act.CompletedAt) != math.Float64bits(v.act.CompletedAt) {
+					t.Errorf("node %d (%s) completion time diverged: row %.12f, vectorized %.12f",
+						i, r.op, r.act.CompletedAt, v.act.CompletedAt)
+				}
+				if !nearTime(r.act.StartTime, v.act.StartTime) {
+					t.Errorf("node %d (%s) start time diverged: row %.12f, vectorized %.12f",
+						i, r.op, r.act.StartTime, v.act.StartTime)
+				}
+				if !nearTime(r.act.RunTime, v.act.RunTime) {
+					t.Errorf("node %d (%s) run time diverged: row %.12f, vectorized %.12f",
+						i, r.op, r.act.RunTime, v.act.RunTime)
+				}
+			}
+		})
+	}
+}
+
+// genColVec builds a ColVec of n random values (with NULL/NaN/±Inf
+// edges) together with the row-store values it decomposed.
+func genColVec(r *rand.Rand, k types.Kind, n int) (*types.ColVec, []types.Value) {
+	vals := make([]types.Value, n)
+	for i := range vals {
+		vals[i] = genValue(r, k)
+	}
+	vec := types.BuildColVec(k, n, func(i int) types.Value { return vals[i] })
+	return &vec, vals
+}
+
+// genSelPredicate draws a random predicate over the two-column schema
+// (col 0 of kind k, col 1 float) in the shapes lowerPred kernels cover.
+func genSelPredicate(r *rand.Rand, k types.Kind) plan.Scalar {
+	col := &plan.Col{Idx: 0, K: k}
+	cv := func() *plan.Const {
+		v := genValue(r, k)
+		if v.IsNull() { // NULL literals are not lowerable; keep them rare
+			v = genValue(r, k)
+		}
+		return &plan.Const{V: v}
+	}
+	ops := []plan.BinOp{plan.BEq, plan.BNe, plan.BLt, plan.BLe, plan.BGt, plan.BGe}
+	switch r.Intn(5) {
+	case 0:
+		op := ops[r.Intn(len(ops))]
+		if r.Intn(2) == 0 {
+			return &plan.Bin{Op: op, L: col, R: cv(), K: types.KindBool}
+		}
+		return &plan.Bin{Op: op, L: cv(), R: col, K: types.KindBool}
+	case 1:
+		if k == types.KindString {
+			return plan.NewLike(col, []string{"%a%", "B%", "%o", "a_c", "foo"}[r.Intn(5)], r.Intn(2) == 0)
+		}
+		return &plan.Between{E: col, Lo: cv(), Hi: cv(), Negated: r.Intn(2) == 0}
+	case 2:
+		list := make([]plan.Scalar, 1+r.Intn(3))
+		for i := range list {
+			list[i] = cv()
+		}
+		return &plan.In{E: col, List: list, Negated: r.Intn(2) == 0}
+	case 3:
+		return &plan.IsNull{E: col, Negated: r.Intn(2) == 0}
+	default:
+		// Conjunction with a float-column comparison to exercise the
+		// scan-then-refine chain.
+		fcol := &plan.Col{Idx: 1, K: types.KindFloat}
+		fv := genValue(r, types.KindFloat)
+		if fv.IsNull() {
+			fv = types.Float(0)
+		}
+		lhs := genSelPredicate(r, k)
+		rhs := &plan.Bin{Op: ops[r.Intn(len(ops))], L: fcol, R: &plan.Const{V: fv}, K: types.KindBool}
+		return &plan.Bin{Op: plan.BAnd, L: lhs, R: rhs, K: types.KindBool}
+	}
+}
+
+// TestQuickSelectionKernels cross-checks lowered selection kernels
+// against the interpreter's IsTrue over randomized columns, for every
+// payload kind, including NULL, NaN and ±Inf lanes.
+func TestQuickSelectionKernels(t *testing.T) {
+	kinds := []types.Kind{types.KindFloat, types.KindInt, types.KindDate, types.KindString}
+	lowered := 0
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(23))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := kinds[r.Intn(len(kinds))]
+		const n = 64
+		vec0, vals0 := genColVec(r, k, n)
+		vec1, vals1 := genColVec(r, types.KindFloat, n)
+		if !vec0.Valid || !vec1.Valid {
+			return true // genValue only draws the declared kind; always valid
+		}
+		pred := genSelPredicate(r, k)
+		tests := lowerPred(pred, []*types.ColVec{vec0, vec1})
+		if tests == nil {
+			return true // not a kernel shape (e.g. BETWEEN over strings)
+		}
+		lowered++
+		for i := 0; i < n; i++ {
+			row := plan.Row{vals0[i], vals1[i]}
+			want := pred.Eval(nil, row).IsTrue()
+			got := true
+			for _, test := range tests {
+				if !test(i) {
+					got = false
+					break
+				}
+			}
+			if got != want {
+				t.Errorf("predicate %s row %d (%v): kernel %v, interpreter %v",
+					pred, i, row, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if lowered < 100 {
+		t.Fatalf("suspiciously few predicates lowered: %d", lowered)
+	}
+}
+
+// genFloatExpr draws a random arithmetic tree over float column 0, int
+// column 1 and numeric literals — the shapes lowerFvec covers, plus
+// unlowerable ones (to exercise rejection).
+func genFloatExpr(r *rand.Rand, depth int) plan.Scalar {
+	if depth == 0 || r.Intn(3) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return &plan.Col{Idx: 0, K: types.KindFloat}
+		case 1:
+			return &plan.Col{Idx: 1, K: types.KindInt}
+		case 2:
+			return &plan.Const{V: types.Float((r.Float64() - 0.5) * 100)}
+		default:
+			return &plan.Const{V: types.Int(r.Int63n(7))}
+		}
+	}
+	ops := []plan.BinOp{plan.BAdd, plan.BSub, plan.BMul, plan.BDiv}
+	return &plan.Bin{
+		Op: ops[r.Intn(len(ops))],
+		L:  genFloatExpr(r, depth-1),
+		R:  genFloatExpr(r, depth-1),
+		K:  types.KindFloat,
+	}
+}
+
+// TestQuickFloatKernels cross-checks lowered float expression vectors
+// against the compiled closures (themselves differentially pinned to the
+// interpreter) for bit-identical values and NULL lanes — including
+// division by zero, NULL propagation and NaN/Inf payloads.
+func TestQuickFloatKernels(t *testing.T) {
+	lowered := 0
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(29))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const n = 48
+		fvec0, fvals := genColVec(r, types.KindFloat, n)
+		ivec1, ivals := genColVec(r, types.KindInt, n)
+		expr := genFloatExpr(r, 1+r.Intn(3))
+		fv, afloat := lowerFvec(expr, []*types.ColVec{fvec0, ivec1})
+		if fv == nil || !afloat {
+			return true
+		}
+		lowered++
+		sel := make([]int32, 0, n)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) > 0 { // exercise gaps in the selection vector
+				sel = append(sel, int32(i))
+			}
+		}
+		vals, nulls := fv.eval(0, sel)
+		for si, w := range sel {
+			row := plan.Row{fvals[w], ivals[w]}
+			want := expr.Eval(nil, row)
+			var got types.Value
+			if nulls != nil && nulls[si] {
+				got = types.Null
+			} else {
+				got = types.Float(vals[si])
+			}
+			if !sameValue(got, want) {
+				t.Errorf("expr %s row %d (%v): kernel %#v, interpreter %#v",
+					expr, w, row, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if lowered < 100 {
+		t.Fatalf("suspiciously few expressions lowered: %d", lowered)
+	}
+}

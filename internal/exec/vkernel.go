@@ -1,0 +1,621 @@
+package exec
+
+// Type-specialized kernels for the batch engine. Predicate lowering turns
+// a scan filter's conjuncts into rowTest kernels over the table's column
+// vectors, and float-arithmetic lowering turns aggregate arguments into
+// column-at-a-time evaluators (fvec). Every kernel is constructed at
+// build time and mirrors the corresponding compiled closure bit for bit —
+// the same !(a<b)/!(a>b) float comparison forms (so NaN ordering agrees
+// with types.Compare), the same NULL propagation, the same
+// division-by-zero-is-NULL rule. Anything without an exact kernel form
+// falls back to the compiled closure, so lowering is an optimization,
+// never a semantics fork.
+
+import (
+	"qpp/internal/plan"
+	"qpp/internal/types"
+)
+
+// rowTest is one lowered predicate conjunct: does the row at absolute
+// heap offset i pass? NULL predicate results report false, matching
+// Value.IsTrue on the row engine's filter result.
+type rowTest func(i int) bool
+
+// lowerPred lowers a scan filter into per-conjunct kernels, or nil if
+// any conjunct lacks a kernel form. Conjuncts apply in source order as a
+// refinement chain, which preserves AND's keep/drop semantics: a row
+// passes iff every conjunct is true, and false vs NULL both drop.
+func lowerPred(s plan.Scalar, cols []*types.ColVec) []rowTest {
+	var tests []rowTest
+	if !collectConjuncts(s, cols, &tests) || len(tests) == 0 {
+		return nil
+	}
+	return tests
+}
+
+func collectConjuncts(s plan.Scalar, cols []*types.ColVec, out *[]rowTest) bool {
+	if b, ok := s.(*plan.Bin); ok && b.Op == plan.BAnd {
+		return collectConjuncts(b.L, cols, out) && collectConjuncts(b.R, cols, out)
+	}
+	t := lowerConjunct(s, cols)
+	if t == nil {
+		return false
+	}
+	*out = append(*out, t)
+	return true
+}
+
+func lowerConjunct(s plan.Scalar, cols []*types.ColVec) rowTest {
+	switch x := s.(type) {
+	case *plan.Bin:
+		return lowerCmp(x, cols)
+	case *plan.Between:
+		return lowerBetween(x, cols)
+	case *plan.In:
+		return lowerIn(x, cols)
+	case *plan.Like:
+		return lowerLike(x, cols)
+	case *plan.IsNull:
+		return lowerIsNull(x, cols)
+	}
+	return nil
+}
+
+// colVec resolves a scalar to a cleanly-decomposed column vector of the
+// scan's table (scan filters are bound against the full table schema).
+func colVec(s plan.Scalar, cols []*types.ColVec) (*plan.Col, *types.ColVec) {
+	col, ok := s.(*plan.Col)
+	if !ok || col.Idx < 0 || col.Idx >= len(cols) {
+		return nil, nil
+	}
+	v := cols[col.Idx]
+	if v == nil || !v.Valid || v.Kind != col.K {
+		return nil, nil
+	}
+	return col, v
+}
+
+// foldConst evaluates a literal or a literal-only expression at lowering
+// time — the same folding compile() performs through the interpreter.
+func foldConst(s plan.Scalar) (types.Value, bool) {
+	if c, ok := s.(*plan.Const); ok {
+		return c.V, true
+	}
+	if isFoldable(s) {
+		return s.Eval(nil, nil), true
+	}
+	return types.Value{}, false
+}
+
+// mirrorCmp flips a comparison for operand swap: a op b == b mirror(op) a.
+func mirrorCmp(op plan.BinOp) plan.BinOp {
+	switch op {
+	case plan.BLt:
+		return plan.BGt
+	case plan.BLe:
+		return plan.BGe
+	case plan.BGt:
+		return plan.BLt
+	case plan.BGe:
+		return plan.BLe
+	default: // BEq, BNe are symmetric
+		return op
+	}
+}
+
+// lowerCmp lowers Col-op-const comparisons (either operand order). The
+// numeric forms are applyFloatCmp's exact comparison shapes; the string
+// forms are Go's native string ordering, as in compileColConstStrCmp.
+func lowerCmp(b *plan.Bin, cols []*types.ColVec) rowTest {
+	op := b.Op
+	switch op {
+	case plan.BEq, plan.BNe, plan.BLt, plan.BLe, plan.BGt, plan.BGe:
+	default:
+		return nil
+	}
+	col, vec := colVec(b.L, cols)
+	cs := b.R
+	if col == nil {
+		col, vec = colVec(b.R, cols)
+		cs = b.L
+		op = mirrorCmp(op)
+	}
+	if col == nil {
+		return nil
+	}
+	cv, ok := foldConst(cs)
+	if !ok || cv.IsNull() {
+		return nil
+	}
+	nulls := vec.Nulls
+	switch {
+	case isNumericKind(col.K) && cv.Numeric():
+		cf := cv.AsFloat()
+		if col.K == types.KindFloat {
+			fs := vec.Floats
+			switch op {
+			case plan.BEq:
+				return func(i int) bool {
+					return (nulls == nil || !nulls[i]) && !(fs[i] < cf) && !(fs[i] > cf)
+				}
+			case plan.BNe:
+				return func(i int) bool {
+					return (nulls == nil || !nulls[i]) && (fs[i] < cf || fs[i] > cf)
+				}
+			case plan.BLt:
+				return func(i int) bool { return (nulls == nil || !nulls[i]) && fs[i] < cf }
+			case plan.BLe:
+				return func(i int) bool { return (nulls == nil || !nulls[i]) && !(fs[i] > cf) }
+			case plan.BGt:
+				return func(i int) bool { return (nulls == nil || !nulls[i]) && fs[i] > cf }
+			default: // BGe
+				return func(i int) bool { return (nulls == nil || !nulls[i]) && !(fs[i] < cf) }
+			}
+		}
+		is := vec.Ints
+		switch op {
+		case plan.BEq:
+			return func(i int) bool {
+				if nulls != nil && nulls[i] {
+					return false
+				}
+				f := float64(is[i])
+				return !(f < cf) && !(f > cf)
+			}
+		case plan.BNe:
+			return func(i int) bool {
+				if nulls != nil && nulls[i] {
+					return false
+				}
+				f := float64(is[i])
+				return f < cf || f > cf
+			}
+		case plan.BLt:
+			return func(i int) bool { return (nulls == nil || !nulls[i]) && float64(is[i]) < cf }
+		case plan.BLe:
+			return func(i int) bool { return (nulls == nil || !nulls[i]) && !(float64(is[i]) > cf) }
+		case plan.BGt:
+			return func(i int) bool { return (nulls == nil || !nulls[i]) && float64(is[i]) > cf }
+		default: // BGe
+			return func(i int) bool { return (nulls == nil || !nulls[i]) && !(float64(is[i]) < cf) }
+		}
+	case col.K == types.KindString && cv.Kind == types.KindString:
+		ss := vec.Strs
+		c := cv.S
+		switch op {
+		case plan.BEq:
+			return func(i int) bool { return (nulls == nil || !nulls[i]) && ss[i] == c }
+		case plan.BNe:
+			return func(i int) bool { return (nulls == nil || !nulls[i]) && ss[i] != c }
+		case plan.BLt:
+			return func(i int) bool { return (nulls == nil || !nulls[i]) && ss[i] < c }
+		case plan.BLe:
+			return func(i int) bool { return (nulls == nil || !nulls[i]) && ss[i] <= c }
+		case plan.BGt:
+			return func(i int) bool { return (nulls == nil || !nulls[i]) && ss[i] > c }
+		default: // BGe
+			return func(i int) bool { return (nulls == nil || !nulls[i]) && ss[i] >= c }
+		}
+	}
+	return nil
+}
+
+// lowerBetween lowers numeric BETWEEN with constant bounds:
+// !(v<lo) && !(v>hi), the interpreter's exact Compare reduction.
+func lowerBetween(b *plan.Between, cols []*types.ColVec) rowTest {
+	col, vec := colVec(b.E, cols)
+	if col == nil || !isNumericKind(col.K) {
+		return nil
+	}
+	lv, ok1 := foldConst(b.Lo)
+	hv, ok2 := foldConst(b.Hi)
+	if !ok1 || !ok2 || !lv.Numeric() || !hv.Numeric() {
+		return nil
+	}
+	lo, hi, neg := lv.AsFloat(), hv.AsFloat(), b.Negated
+	nulls := vec.Nulls
+	if col.K == types.KindFloat {
+		fs := vec.Floats
+		return func(i int) bool {
+			if nulls != nil && nulls[i] {
+				return false
+			}
+			f := fs[i]
+			in := !(f < lo) && !(f > hi)
+			return in != neg
+		}
+	}
+	is := vec.Ints
+	return func(i int) bool {
+		if nulls != nil && nulls[i] {
+			return false
+		}
+		f := float64(is[i])
+		in := !(f < lo) && !(f > hi)
+		return in != neg
+	}
+}
+
+// lowerIn lowers IN over constant lists: a set probe for string columns,
+// a flat float scan for numeric ones — the shapes compileIn fast-paths.
+func lowerIn(in *plan.In, cols []*types.ColVec) rowTest {
+	col, vec := colVec(in.E, cols)
+	if col == nil {
+		return nil
+	}
+	vals := make([]types.Value, 0, len(in.List))
+	for _, item := range in.List {
+		c, ok := item.(*plan.Const)
+		if !ok {
+			return nil
+		}
+		vals = append(vals, c.V)
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	allStr, allNum := true, true
+	for _, v := range vals {
+		if v.Kind != types.KindString {
+			allStr = false
+		}
+		if !v.Numeric() {
+			allNum = false
+		}
+	}
+	neg := in.Negated
+	nulls := vec.Nulls
+	switch {
+	case allStr && col.K == types.KindString && in.E.Kind() == types.KindString:
+		set := make(map[string]bool, len(vals))
+		for _, v := range vals {
+			set[v.S] = true
+		}
+		ss := vec.Strs
+		return func(i int) bool {
+			if nulls != nil && nulls[i] {
+				return false
+			}
+			return set[ss[i]] != neg
+		}
+	case allNum && isNumericKind(col.K) && isNumericKind(in.E.Kind()):
+		list := make([]float64, len(vals))
+		for i, v := range vals {
+			list[i] = v.AsFloat()
+		}
+		if col.K == types.KindFloat {
+			fs := vec.Floats
+			return func(i int) bool {
+				if nulls != nil && nulls[i] {
+					return false
+				}
+				vf := fs[i]
+				for _, f := range list {
+					if !(vf < f) && !(vf > f) {
+						return !neg
+					}
+				}
+				return neg
+			}
+		}
+		is := vec.Ints
+		return func(i int) bool {
+			if nulls != nil && nulls[i] {
+				return false
+			}
+			vf := float64(is[i])
+			for _, f := range list {
+				if !(vf < f) && !(vf > f) {
+					return !neg
+				}
+			}
+			return neg
+		}
+	}
+	return nil
+}
+
+// lowerLike lowers LIKE over a string column with the same matcher the
+// compiled closure uses.
+func lowerLike(l *plan.Like, cols []*types.ColVec) rowTest {
+	col, vec := colVec(l.E, cols)
+	if col == nil || col.K != types.KindString {
+		return nil
+	}
+	match := likeMatcher(l)
+	neg := l.Negated
+	nulls := vec.Nulls
+	ss := vec.Strs
+	return func(i int) bool {
+		if nulls != nil && nulls[i] {
+			return false
+		}
+		return match(ss[i]) != neg
+	}
+}
+
+// lowerIsNull lowers IS [NOT] NULL over any decomposed column.
+func lowerIsNull(n *plan.IsNull, cols []*types.ColVec) rowTest {
+	col, vec := colVec(n.E, cols)
+	if col == nil {
+		return nil
+	}
+	neg := n.Negated
+	nulls := vec.Nulls
+	return func(i int) bool {
+		return (nulls != nil && nulls[i]) != neg
+	}
+}
+
+// fvec node kinds.
+const (
+	fvCol = iota
+	fvConst
+	fvArith
+)
+
+// fvec is a lowered always-float scalar expression evaluated column-at-
+// a-time: float/int column gathers and +,-,*,/ combines over a batch's
+// selection, with per-element operations identical to the compiled
+// closures (same operand order, NULL-before-division-by-zero, NaN
+// propagation through raw float ops). Lowering guarantees the expression
+// evaluates to Float-or-NULL on every row — see lowerFvec — so a flat
+// float64 result plus a null mask represents it losslessly.
+type fvec struct {
+	kind int
+
+	// fvCol payload: exactly one of fs/is is set.
+	fs       []float64
+	is       []int64
+	colNulls []bool
+
+	// fvConst payload.
+	c float64
+
+	// fvArith payload.
+	op   plan.BinOp
+	l, r *fvec
+
+	// Per-batch scratch, grown once and reused.
+	vals  []float64
+	nulls []bool
+}
+
+// lowerFvec lowers s over the scan's columns. afloat reports that the
+// node's runtime result is statically Float-or-NULL; arithmetic nodes
+// require it of at least one operand (or are divisions, which always
+// produce Float), since two Int operands would make arithValues return an
+// Int that a float kernel cannot represent. Date operands are rejected
+// entirely to keep the Date±Int calendar path on the row engine.
+func lowerFvec(s plan.Scalar, cols []*types.ColVec) (*fvec, bool) {
+	switch x := s.(type) {
+	case *plan.Const:
+		switch x.V.Kind {
+		case types.KindFloat:
+			return &fvec{kind: fvConst, c: x.V.F}, true
+		case types.KindInt:
+			return &fvec{kind: fvConst, c: float64(x.V.I)}, false
+		}
+		return nil, false
+	case *plan.Col:
+		col, vec := colVec(x, cols)
+		if col == nil {
+			return nil, false
+		}
+		switch col.K {
+		case types.KindFloat:
+			return &fvec{kind: fvCol, fs: vec.Floats, colNulls: vec.Nulls}, true
+		case types.KindInt:
+			return &fvec{kind: fvCol, is: vec.Ints, colNulls: vec.Nulls}, false
+		}
+		return nil, false
+	case *plan.Bin:
+		switch x.Op {
+		case plan.BAdd, plan.BSub, plan.BMul, plan.BDiv:
+		default:
+			return nil, false
+		}
+		l, lf := lowerFvec(x.L, cols)
+		if l == nil {
+			return nil, false
+		}
+		r, rf := lowerFvec(x.R, cols)
+		if r == nil {
+			return nil, false
+		}
+		if !lf && !rf && x.Op != plan.BDiv {
+			// Both operands can be runtime Int, which would make the row
+			// engine produce an Int result (arithValues); no float kernel.
+			return nil, false
+		}
+		return &fvec{kind: fvArith, op: x.Op, l: l, r: r}, true
+	}
+	return nil, false
+}
+
+// ensure sizes the scratch buffers for n selected rows.
+func (f *fvec) ensure(n int) {
+	if cap(f.vals) < n {
+		f.vals = make([]float64, n)
+		f.nulls = make([]bool, n)
+	}
+	f.vals = f.vals[:n]
+	f.nulls = f.nulls[:n]
+}
+
+// eval computes the expression for the selected rows of a window whose
+// absolute base offset is lo. The returned slices are valid until the
+// node's next eval; nulls is nil when no selected row is NULL.
+func (f *fvec) eval(lo int, sel []int32) ([]float64, []bool) {
+	n := len(sel)
+	f.ensure(n)
+	switch f.kind {
+	case fvConst:
+		vals := f.vals
+		for k := range vals {
+			vals[k] = f.c
+		}
+		return vals, nil
+	case fvCol:
+		vals := f.vals
+		if f.fs != nil {
+			fs := f.fs
+			for k, w := range sel {
+				vals[k] = fs[lo+int(w)]
+			}
+		} else {
+			is := f.is
+			for k, w := range sel {
+				vals[k] = float64(is[lo+int(w)])
+			}
+		}
+		if f.colNulls == nil {
+			return vals, nil
+		}
+		cn := f.colNulls
+		nulls := f.nulls
+		any := false
+		for k, w := range sel {
+			nn := cn[lo+int(w)]
+			nulls[k] = nn
+			any = any || nn
+		}
+		if !any {
+			return vals, nil
+		}
+		return vals, nulls
+	default: // fvArith
+		return f.evalArith(lo, sel)
+	}
+}
+
+func (f *fvec) evalArith(lo int, sel []int32) ([]float64, []bool) {
+	n := len(sel)
+	var lvs, rvs []float64
+	var lns, rns []bool
+	lc := f.l.kind == fvConst
+	rc := f.r.kind == fvConst
+	if !lc {
+		lvs, lns = f.l.eval(lo, sel)
+	}
+	if !rc {
+		rvs, rns = f.r.eval(lo, sel)
+	}
+	vals := f.vals[:n]
+	if f.op == plan.BDiv {
+		nulls := f.nulls[:n]
+		any := false
+		for k := range vals {
+			var lv, rv float64
+			if lc {
+				lv = f.l.c
+			} else {
+				lv = lvs[k]
+			}
+			if rc {
+				rv = f.r.c
+			} else {
+				rv = rvs[k]
+			}
+			if (lns != nil && lns[k]) || (rns != nil && rns[k]) || rv == 0 {
+				nulls[k] = true
+				vals[k] = 0
+				any = true
+				continue
+			}
+			nulls[k] = false
+			vals[k] = lv / rv
+		}
+		if !any {
+			return vals, nil
+		}
+		return vals, nulls
+	}
+	switch f.op {
+	case plan.BAdd:
+		switch {
+		case lc && rc:
+			c := f.l.c + f.r.c
+			for k := range vals {
+				vals[k] = c
+			}
+		case lc:
+			c := f.l.c
+			for k := range vals {
+				vals[k] = c + rvs[k]
+			}
+		case rc:
+			c := f.r.c
+			for k := range vals {
+				vals[k] = lvs[k] + c
+			}
+		default:
+			for k := range vals {
+				vals[k] = lvs[k] + rvs[k]
+			}
+		}
+	case plan.BSub:
+		switch {
+		case lc && rc:
+			c := f.l.c - f.r.c
+			for k := range vals {
+				vals[k] = c
+			}
+		case lc:
+			c := f.l.c
+			for k := range vals {
+				vals[k] = c - rvs[k]
+			}
+		case rc:
+			c := f.r.c
+			for k := range vals {
+				vals[k] = lvs[k] - c
+			}
+		default:
+			for k := range vals {
+				vals[k] = lvs[k] - rvs[k]
+			}
+		}
+	default: // BMul
+		switch {
+		case lc && rc:
+			c := f.l.c * f.r.c
+			for k := range vals {
+				vals[k] = c
+			}
+		case lc:
+			c := f.l.c
+			for k := range vals {
+				vals[k] = c * rvs[k]
+			}
+		case rc:
+			c := f.r.c
+			for k := range vals {
+				vals[k] = lvs[k] * c
+			}
+		default:
+			for k := range vals {
+				vals[k] = lvs[k] * rvs[k]
+			}
+		}
+	}
+	return vals, mergeNulls(f.nulls[:n], lns, rns)
+}
+
+// mergeNulls ORs two null masks into dst, returning nil when no lane is
+// NULL (the fast-path contract of fvec.eval).
+func mergeNulls(dst []bool, a, b []bool) []bool {
+	if a == nil && b == nil {
+		return nil
+	}
+	any := false
+	for k := range dst {
+		nn := (a != nil && a[k]) || (b != nil && b[k])
+		dst[k] = nn
+		any = any || nn
+	}
+	if !any {
+		return nil
+	}
+	return dst
+}

@@ -1,0 +1,302 @@
+package exec
+
+import (
+	"qpp/internal/obs"
+	"qpp/internal/plan"
+	"qpp/internal/storage"
+)
+
+// vSeqScan is the batch-producing sequential scan. Each NextBatch slices
+// the next window of up to batchSize rows straight out of the heap and
+// evaluates the node filter into a selection vector — through lowered
+// column kernels when the predicate has a kernel form, otherwise through
+// the same compiled closure the row engine would use. No clock charges
+// happen at batch-build time: the cursor replays each row's charges
+// (sequential page read at page boundaries, per-tuple CPU, filter cost)
+// when the consumer claims the row through Batch.BeforeRow, and settles a
+// window's unselected tail at the next NextBatch call — the same
+// consumer-call the row engine would have charged it in. Unconsumed
+// charges are dropped on ReScanBatch, matching a row scan that was reset
+// before reaching those rows.
+//
+// The operator runs unwrapped (build installs its batchToRow adapter
+// without an instrumented layer), so it maintains its own plan-node
+// actuals and trace spans with the wrapper's exact ordering: settle
+// before span exit, row accounting after.
+type vSeqScan struct {
+	node  *plan.Node
+	table *storage.Table
+
+	// Filter evaluation (charge-free; cost replayed by the cursor).
+	hasFilter bool
+	fcost     plan.ExprCost
+	tests     []rowTest // lowered conjunct kernels; nil → fallback closure
+	fallback  evalFn
+
+	// Replay cursor.
+	next     int   // first row offset not yet charged
+	lastPage int64 // last heap page charged
+	winLo    int   // current window bounds [winLo, winHi)
+	winHi    int
+
+	batch Batch
+	sel   []int32
+
+	// Self-managed instrumentation (mirrors the instrumented wrapper).
+	span     *obs.Span
+	acc      float64
+	firstSet bool
+}
+
+// vecScan returns a batch-producing scan for n, or nil when the batch
+// engine cannot run it: vectorization off, not a sequential scan, or a
+// filter that must stay on the row engine. Sub-plan filters are row-only
+// because evaluating them charges the clock mid-scan, which batch-time
+// evaluation would reorder; parameter references are fine (they read
+// slots that are stable for the duration of a drain, without charging).
+// Predicate lowering happens here, at build time, so the per-batch path
+// never constructs closures.
+func vecScan(ctx *execCtx, n *plan.Node) *vSeqScan {
+	if !ctx.vectorize || n.Op != plan.OpSeqScan {
+		return nil
+	}
+	t, ok := ctx.db.Table(n.Table)
+	if !ok {
+		return nil
+	}
+	if scalarRowOnly(n.Filter) {
+		return nil
+	}
+	s := &vSeqScan{node: n, table: t, sel: make([]int32, 0, batchSize)}
+	if n.Filter != nil {
+		s.hasFilter = true
+		s.fcost = n.Filter.Cost()
+		s.tests = lowerPred(n.Filter, t.Columns())
+		if s.tests == nil {
+			s.fallback = ctx.compileScalar(n.Filter)
+		}
+	}
+	return s
+}
+
+// scalarRowOnly reports whether s contains a construct that forces the
+// row engine: a correlated sub-plan (its execution charges the clock, so
+// it cannot run at batch-build time) or any scalar kind this walker does
+// not recognize (conservative default).
+func scalarRowOnly(s plan.Scalar) bool {
+	switch x := s.(type) {
+	case nil:
+		return false
+	case *plan.Const, *plan.Col, *plan.ParamRef:
+		return false
+	case *plan.Bin:
+		return scalarRowOnly(x.L) || scalarRowOnly(x.R)
+	case *plan.Not:
+		return scalarRowOnly(x.E)
+	case *plan.Neg:
+		return scalarRowOnly(x.E)
+	case *plan.Case:
+		for _, w := range x.Whens {
+			if scalarRowOnly(w.Cond) || scalarRowOnly(w.Then) {
+				return true
+			}
+		}
+		return x.Else != nil && scalarRowOnly(x.Else)
+	case *plan.In:
+		if scalarRowOnly(x.E) {
+			return true
+		}
+		for _, e := range x.List {
+			if scalarRowOnly(e) {
+				return true
+			}
+		}
+		return false
+	case *plan.Between:
+		return scalarRowOnly(x.E) || scalarRowOnly(x.Lo) || scalarRowOnly(x.Hi)
+	case *plan.Like:
+		return scalarRowOnly(x.E)
+	case *plan.DateAdd:
+		return scalarRowOnly(x.E)
+	case *plan.ExtractYear:
+		return scalarRowOnly(x.E)
+	case *plan.Substring:
+		return scalarRowOnly(x.E)
+	case *plan.IsNull:
+		return scalarRowOnly(x.E)
+	default:
+		return true // SubPlan, or a scalar this walker does not know
+	}
+}
+
+func (s *vSeqScan) resetCursor() {
+	s.next = 0
+	s.lastPage = -1
+	s.winLo, s.winHi = 0, 0
+}
+
+// OpenBatch implements batchIterator.
+func (s *vSeqScan) OpenBatch(ctx *execCtx) error {
+	if ctx.trace != nil {
+		s.span = ctx.trace.Enter(s.node)
+	}
+	t0 := ctx.clock.Now()
+	s.node.Act.Executed = true
+	s.node.Act.Loops++
+	s.resetCursor()
+	s.acc += ctx.clock.Now() - t0
+	s.node.Act.RunTime = s.acc
+	if ctx.trace != nil {
+		ctx.trace.Exit()
+	}
+	return nil
+}
+
+// NextBatch implements batchIterator. It first settles the previous
+// window's unclaimed tail — the row engine pays for trailing unselected
+// rows inside the consumer call that discovers exhaustion of the window,
+// which is exactly this call — then builds the next window's selection
+// without touching the clock.
+func (s *vSeqScan) NextBatch(ctx *execCtx) (*Batch, bool, error) {
+	if ctx.overTime() {
+		return nil, false, ErrTimeout
+	}
+	if ctx.ectx.Err != nil {
+		return nil, false, ctx.ectx.Err
+	}
+	if s.winHi > s.next {
+		s.settle(ctx, s.winHi)
+	}
+	n := len(s.table.Rows)
+	if s.winHi >= n {
+		s.node.Act.CompletedAt = ctx.clock.Now()
+		return nil, false, nil
+	}
+	lo := s.winHi
+	hi := lo + batchSize
+	if hi > n {
+		hi = n
+	}
+	s.winLo, s.winHi = lo, hi
+	s.buildSel(ctx, lo, hi)
+	s.batch = Batch{Rows: s.table.Rows[lo:hi], Sel: s.sel, lo: lo, scan: s}
+	return &s.batch, true, nil
+}
+
+// buildSel evaluates the filter over window [lo,hi) into s.sel. Kernels
+// run first-conjunct-scan-then-refine, so later conjuncts only touch
+// survivors — the columnar analogue of && short-circuiting, with
+// identical kept-row semantics (false and NULL both drop the row).
+func (s *vSeqScan) buildSel(ctx *execCtx, lo, hi int) {
+	sel := s.sel[:0]
+	switch {
+	case !s.hasFilter:
+		for i := lo; i < hi; i++ {
+			sel = append(sel, int32(i-lo))
+		}
+	case s.tests != nil:
+		first := s.tests[0]
+		for i := lo; i < hi; i++ {
+			if first(i) {
+				sel = append(sel, int32(i-lo))
+			}
+		}
+		for _, t := range s.tests[1:] {
+			kept := sel[:0]
+			for _, w := range sel {
+				if t(lo + int(w)) {
+					kept = append(kept, w)
+				}
+			}
+			sel = kept
+		}
+	default:
+		rows := s.table.Rows
+		for i := lo; i < hi; i++ {
+			if s.fallback(ctx.ectx, rows[i]).IsTrue() {
+				sel = append(sel, int32(i-lo))
+			}
+		}
+	}
+	s.sel = sel
+}
+
+// ReScanBatch implements batchIterator. Charges still pending for the
+// current window are dropped, not replayed: the row engine's scan never
+// reached those rows either.
+func (s *vSeqScan) ReScanBatch(ctx *execCtx, _ plan.Row) error {
+	if ctx.trace != nil {
+		s.span = ctx.trace.Enter(s.node)
+	}
+	t0 := ctx.clock.Now()
+	s.node.Act.Loops++
+	s.resetCursor()
+	s.acc += ctx.clock.Now() - t0
+	s.node.Act.RunTime = s.acc
+	if ctx.trace != nil {
+		ctx.trace.Exit()
+	}
+	return nil
+}
+
+// CloseBatch implements batchIterator.
+func (s *vSeqScan) CloseBatch() {}
+
+// claimRow replays the charges for every row from the cursor up to and
+// including abs, then records the emission — the same bookkeeping, in
+// the same order, as the instrumented wrapper around a row scan.
+func (s *vSeqScan) claimRow(ctx *execCtx, abs int) {
+	if ctx.trace != nil {
+		s.span = ctx.trace.Enter(s.node)
+	}
+	t0 := ctx.clock.Now()
+	s.advance(ctx, abs+1)
+	s.acc += ctx.clock.Now() - t0
+	s.node.Act.RunTime = s.acc
+	if ctx.trace != nil {
+		ctx.trace.Exit()
+	}
+	s.node.Act.Rows++
+	if !s.firstSet {
+		s.node.Act.StartTime = s.acc
+		s.firstSet = true
+		if ctx.trace != nil {
+			ctx.trace.MarkFirstRow(s.span)
+		}
+	}
+}
+
+// settle replays charges up to row offset upto without emitting a row
+// (window tails).
+func (s *vSeqScan) settle(ctx *execCtx, upto int) {
+	if ctx.trace != nil {
+		s.span = ctx.trace.Enter(s.node)
+	}
+	t0 := ctx.clock.Now()
+	s.advance(ctx, upto)
+	s.acc += ctx.clock.Now() - t0
+	s.node.Act.RunTime = s.acc
+	if ctx.trace != nil {
+		ctx.trace.Exit()
+	}
+}
+
+// advance charges rows [next, upto) exactly as seqScan.Next does: a
+// sequential page read at each page boundary, one tuple's CPU, and the
+// filter's expression cost for every row regardless of whether it passed.
+func (s *vSeqScan) advance(ctx *execCtx, upto int) {
+	for i := s.next; i < upto; i++ {
+		if pg := s.table.PageOf(i); pg != s.lastPage {
+			ctx.clock.ReadPage(s.table.Meta.Name, pg, true)
+			s.node.Act.Pages++
+			s.lastPage = pg
+		}
+		ctx.clock.CPUTuples(1)
+		if s.hasFilter {
+			ctx.clock.CPUOps(s.fcost.Ops, s.fcost.NumericOps)
+		}
+	}
+	if upto > s.next {
+		s.next = upto
+	}
+}

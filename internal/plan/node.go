@@ -203,6 +203,13 @@ type Node struct {
 	// are bound to, in argument order.
 	SubPlanArgSlots [][]int
 	NumParams       int
+
+	// ExecCache holds executor-private state that survives across Runs of
+	// this plan tree (compiled expression closures, today). It is owned by
+	// the executor and carries no locking: a plan tree must not be shared
+	// between concurrent Runs, which the executor's concurrency contract
+	// already requires. Root-only.
+	ExecCache any
 }
 
 // Width returns the estimated row width from the column metadata.

@@ -1,0 +1,26 @@
+package storage
+
+import "qpp/internal/types"
+
+// Columns returns the table decomposed into typed column vectors, one
+// per catalog column, built lazily on first use and shared by every
+// execution thereafter (the store is immutable after load, so the
+// vectors never go stale). Entries for columns that cannot be cleanly
+// typed — a stored value disagreeing with the declared kind — are nil;
+// the executor's batch kernels fall back to row-wise access for those.
+func (t *Table) Columns() []*types.ColVec {
+	t.colOnce.Do(func() {
+		cols := make([]*types.ColVec, len(t.Meta.Columns))
+		for c := range t.Meta.Columns {
+			c := c
+			vec := types.BuildColVec(t.Meta.Columns[c].Type, len(t.Rows), func(i int) types.Value {
+				return t.Rows[i][c]
+			})
+			if vec.Valid {
+				cols[c] = &vec
+			}
+		}
+		t.cols = cols
+	})
+	return t.cols
+}

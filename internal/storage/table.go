@@ -9,6 +9,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"qpp/internal/catalog"
 	"qpp/internal/types"
@@ -27,6 +28,11 @@ type Table struct {
 	RowsPerPage int
 	// Pages is the heap size in pages.
 	Pages int64
+
+	// Columnar decomposition, built lazily by Columns(). The Once makes
+	// concurrent first uses safe; the vectors themselves are immutable.
+	colOnce sync.Once
+	cols    []*types.ColVec
 }
 
 // NewTable builds a table and computes its page layout.

@@ -1,0 +1,94 @@
+package types
+
+// ColVec is a typed column vector: one table column decomposed into a
+// flat payload slice plus an optional null mask, so batch kernels can
+// run tight loops over 8-byte scalars instead of loading 40-byte Value
+// structs through interface calls. The payload slice used depends on
+// Kind: Floats for KindFloat, Strs for KindString, Ints for KindInt,
+// KindDate and KindBool (matching Value.I's encoding). A column whose
+// stored values drift from its declared kind cannot be decomposed; such
+// columns report Valid=false and kernels fall back to row-wise access.
+type ColVec struct {
+	Kind Kind
+	// Valid reports the column decomposed cleanly: every stored value is
+	// either NULL or of the declared Kind. The payload slices are only
+	// populated when Valid is true.
+	Valid  bool
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	// Nulls marks NULL positions; nil when the column holds no NULLs, so
+	// kernels can skip the mask test entirely on the common path.
+	Nulls []bool
+}
+
+// Len returns the number of values in the vector.
+func (v *ColVec) Len() int {
+	switch v.Kind {
+	case KindFloat:
+		return len(v.Floats)
+	case KindString:
+		return len(v.Strs)
+	default:
+		return len(v.Ints)
+	}
+}
+
+// IsNull reports whether position i holds SQL NULL.
+func (v *ColVec) IsNull(i int) bool { return v.Nulls != nil && v.Nulls[i] }
+
+// Value reconstructs the tagged-union Value at position i. It is the
+// slow accessor — kernels read the payload slices directly — but it is
+// guaranteed to rebuild exactly the Value the row store holds.
+func (v *ColVec) Value(i int) Value {
+	if v.Nulls != nil && v.Nulls[i] {
+		return Null
+	}
+	switch v.Kind {
+	case KindFloat:
+		return Value{Kind: KindFloat, F: v.Floats[i]}
+	case KindString:
+		return Value{Kind: KindString, S: v.Strs[i]}
+	default:
+		return Value{Kind: v.Kind, I: v.Ints[i]}
+	}
+}
+
+// BuildColVec decomposes n values (fetched via get) into a column vector
+// of the declared kind. The first value that is neither NULL nor of the
+// declared kind aborts the decomposition and returns an invalid vector.
+func BuildColVec(kind Kind, n int, get func(i int) Value) ColVec {
+	out := ColVec{Kind: kind, Valid: true}
+	switch kind {
+	case KindFloat:
+		out.Floats = make([]float64, n)
+	case KindString:
+		out.Strs = make([]string, n)
+	case KindInt, KindDate, KindBool:
+		out.Ints = make([]int64, n)
+	default:
+		return ColVec{Kind: kind}
+	}
+	for i := 0; i < n; i++ {
+		val := get(i)
+		if val.Kind == KindNull {
+			if out.Nulls == nil {
+				out.Nulls = make([]bool, n)
+			}
+			out.Nulls[i] = true
+			continue
+		}
+		if val.Kind != kind {
+			return ColVec{Kind: kind}
+		}
+		switch kind {
+		case KindFloat:
+			out.Floats[i] = val.F
+		case KindString:
+			out.Strs[i] = val.S
+		default:
+			out.Ints[i] = val.I
+		}
+	}
+	return out
+}
