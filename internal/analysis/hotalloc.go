@@ -19,6 +19,7 @@ import (
 var HotPathPackages = []string{
 	"qpp/internal/exec",
 	"qpp/internal/serve",
+	"qpp/internal/sketch",
 	"qpp/cmd/qppserve",
 }
 

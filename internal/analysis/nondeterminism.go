@@ -18,6 +18,7 @@ import (
 // request path legitimately reads the wall clock for latency metrics.
 var DeterministicCore = []string{
 	"qpp/internal/vclock",
+	"qpp/internal/sketch",
 	"qpp/internal/exec",
 	"qpp/internal/obs",
 	"qpp/internal/workload",

@@ -44,6 +44,10 @@ type TableStats struct {
 	Pages    int64
 	AvgWidth float64 // mean row width in bytes
 	Columns  []ColumnStats
+	// Sketched records whether these statistics came from the streaming
+	// one-pass ANALYZE (AnalyzeRowsSketch) or the exact oracle
+	// (AnalyzeRows).
+	Sketched bool
 }
 
 // Column returns the stats of the named column, or nil.
@@ -167,6 +171,13 @@ func equiDepthBounds(sorted []float64, bins int) []float64 {
 // HistogramSelectivityLE estimates P(col <= x) from the histogram via
 // linear interpolation within the containing bucket.
 func (cs *ColumnStats) HistogramSelectivityLE(x float64) float64 {
+	if cs.NDV == 0 {
+		// No non-null values at all (empty or all-null column). The
+		// zero-valued Min/Max are not real bounds; without this guard the
+		// degenerate Min==Max==0 fallback below would claim every row
+		// satisfies x >= 0.
+		return 0
+	}
 	b := cs.Bounds
 	if len(b) < 2 {
 		// No histogram: fall back to a range guess from min/max.
@@ -221,12 +232,26 @@ func (cs *ColumnStats) EqualitySelectivity(v types.Value) float64 {
 		mcvTotal += m.Freq
 	}
 	rest := cs.NDV - float64(len(cs.MCVs))
-	if rest <= 0 {
+	if cs.NDV <= float64(len(cs.MCVs)) {
 		// All distinct values are in the MCV list; an unseen literal
 		// matches nothing, but keep a tiny floor for robustness.
 		return 1e-6
 	}
-	return (1 - mcvTotal) * (1 - cs.NullFrac) / rest
+	if rest < 1 {
+		// Estimated NDV (sketch ANALYZE) can land fractionally above the
+		// MCV count; dividing by a fraction of a value would inflate the
+		// selectivity past any single value's possible share.
+		rest = 1
+	}
+	sel := (1 - mcvTotal) * (1 - cs.NullFrac) / rest
+	// A value outside the MCV list cannot be more frequent than the least
+	// common value inside it.
+	if n := len(cs.MCVs); n > 0 {
+		if cap := cs.MCVs[n-1].Freq * (1 - cs.NullFrac); sel > cap {
+			sel = cap
+		}
+	}
+	return sel
 }
 
 func clamp01(f float64) float64 {

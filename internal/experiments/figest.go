@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"qpp/internal/obs"
+	"qpp/internal/workload"
+)
+
+// EstError is one per-template cardinality-estimation error row: the
+// geometric mean q-error over every executed operator of every plan of
+// the template, with the optimizer's raw estimates (Off) and with the
+// feedback store's corrections (On).
+type EstError struct {
+	Template int
+	QErrOff  float64
+	QErrOn   float64
+	N        int // executed operators measured (same set in both runs)
+}
+
+// FigEstResult is the feedback-loop evaluation: how much the
+// per-template cardinality feedback store shrinks estimate-vs-actual
+// q-error. This is the figure the feedback subsystem is judged on,
+// playing the role Figure 7 plays for the learned models: estimates vs
+// observations, before and after closing the loop.
+type FigEstResult struct {
+	Templates []EstError
+	// OverallOff and OverallOn are geometric-mean q-errors over all
+	// operators of all templates.
+	OverallOff float64
+	OverallOn  float64
+	// Metrics carries "figest.qerror_off" / "figest.qerror_on"
+	// distributions and summary counters when the obs layer is on.
+	Metrics *obs.Registry
+}
+
+// FigEst re-executes the small workload with the cardinality feedback
+// loop enabled and compares per-operator q-errors against env.Small
+// (the identical workload, identical seeds, feedback off). The feedback
+// build's first pass reproduces env.Small bit for bit, so the deltas
+// are attributable to the Est.Rows corrections alone.
+func FigEst(env *Env) (*FigEstResult, error) {
+	cfg := env.Cfg
+	fbDS, err := workload.Build(workload.Config{
+		ScaleFactor: cfg.SmallSF,
+		PerTemplate: cfg.PerTemplate,
+		Seed:        cfg.Seed + 1000, // env.Small's seed: same data, queries, noise
+		TimeLimit:   cfg.TimeLimit,
+		Parallelism: cfg.Parallelism,
+		Observe:     cfg.Observe,
+		Feedback:    true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: feedback dataset: %w", err)
+	}
+	if len(fbDS.Records) != len(env.Small.Records) {
+		return nil, fmt.Errorf("experiments: feedback run kept %d records, baseline %d",
+			len(fbDS.Records), len(env.Small.Records))
+	}
+
+	out := &FigEstResult{Metrics: env.figRegistry()}
+	type acc struct {
+		logOff, logOn float64
+		n             int
+	}
+	byT := map[int]*acc{}
+	var total acc
+	for i, off := range env.Small.Records {
+		on := fbDS.Records[i]
+		if off.Template != on.Template || off.SQL != on.SQL {
+			return nil, fmt.Errorf("experiments: feedback run diverged at record %d (t%d vs t%d)",
+				i, off.Template, on.Template)
+		}
+		offNodes, onNodes := off.Root.SubPlanList(), on.Root.SubPlanList()
+		if len(offNodes) != len(onNodes) {
+			return nil, fmt.Errorf("experiments: feedback changed the plan of record %d", i)
+		}
+		a := byT[off.Template]
+		if a == nil {
+			a = &acc{}
+			byT[off.Template] = a
+		}
+		for j := range offNodes {
+			qOff, qOn := offNodes[j].CardQError(), onNodes[j].CardQError()
+			if qOff == 0 || qOn == 0 {
+				continue // operator did not execute (in either run they match)
+			}
+			a.logOff += math.Log(qOff)
+			a.logOn += math.Log(qOn)
+			a.n++
+			total.logOff += math.Log(qOff)
+			total.logOn += math.Log(qOn)
+			total.n++
+			if out.Metrics != nil {
+				out.Metrics.Observe("figest.qerror_off", qOff)
+				out.Metrics.Observe("figest.qerror_on", qOn)
+			}
+		}
+	}
+	for _, tmpl := range workload.TemplatesPresent(env.Small.Records) {
+		a := byT[tmpl]
+		if a == nil || a.n == 0 {
+			continue
+		}
+		out.Templates = append(out.Templates, EstError{
+			Template: tmpl,
+			QErrOff:  math.Exp(a.logOff / float64(a.n)),
+			QErrOn:   math.Exp(a.logOn / float64(a.n)),
+			N:        a.n,
+		})
+	}
+	if total.n > 0 {
+		out.OverallOff = math.Exp(total.logOff / float64(total.n))
+		out.OverallOn = math.Exp(total.logOn / float64(total.n))
+	}
+	if out.Metrics != nil {
+		out.Metrics.Add("figest.operators", float64(total.n))
+		out.Metrics.Add("figest.templates", float64(len(out.Templates)))
+		out.Metrics.SetCounter("figest.overall_off", out.OverallOff)
+		out.Metrics.SetCounter("figest.overall_on", out.OverallOn)
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFigEstFeedbackImprovement is the feedback loop's pinned-margin
+// regression test: with the per-template cardinality store on, the
+// overall estimate-vs-actual q-error must land at no more than 90% of
+// the feedback-off value — and the whole figure must be bit-identical
+// at 1, 2 and 8 workers, extending the parallel-replay guarantee to the
+// two-pass feedback build.
+func TestFigEstFeedbackImprovement(t *testing.T) {
+	cfg := determinismConfig(t)
+	cfg.Observe = true
+
+	cfg.Parallelism = 1
+	ref, err := BuildEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFig, err := FigEst(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if refFig.OverallOff <= 1 {
+		t.Fatalf("implausible baseline q-error %v (no estimation error to correct?)", refFig.OverallOff)
+	}
+	// The pinned margin: feedback must cut the geometric-mean q-error by
+	// at least 10%. On this workload it does far better (template
+	// parameters vary, but per-position cardinalities are stable enough
+	// that the mean is a strong predictor); 0.9 leaves room for scale
+	// changes without letting a broken loop slip through.
+	if refFig.OverallOn > 0.9*refFig.OverallOff {
+		t.Fatalf("feedback-on q-error %v did not beat 0.9 x feedback-off %v",
+			refFig.OverallOn, refFig.OverallOff)
+	}
+	// Feedback must help, or at worst not hurt, every template it saw.
+	for _, row := range refFig.Templates {
+		if row.QErrOn > row.QErrOff*1.05 {
+			t.Errorf("template %d: feedback worsened q-error %.3f -> %.3f",
+				row.Template, row.QErrOff, row.QErrOn)
+		}
+	}
+
+	for _, workers := range []int{2, 8} {
+		cfg.Parallelism = workers
+		env, err := BuildEnv(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		fig, err := FigEst(env)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(fig.Templates, refFig.Templates) ||
+			fig.OverallOff != refFig.OverallOff || fig.OverallOn != refFig.OverallOn {
+			t.Fatalf("workers=%d: figure diverges from serial:\n%+v\nvs\n%+v", workers, fig, refFig)
+		}
+		if got, want := fig.Metrics.String(), refFig.Metrics.String(); got != want {
+			t.Fatalf("workers=%d: metrics dump diverges:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}

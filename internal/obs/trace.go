@@ -32,6 +32,11 @@ type Span struct {
 	hasFirstRow bool
 }
 
+// QError returns the cardinality q-error of the span's operator (see
+// plan.Node.CardQError): how far the optimizer's row estimate was from
+// the observed per-loop output, 1 being perfect, 0 if never executed.
+func (s *Span) QError() float64 { return s.Node.CardQError() }
+
 // frame is one active operator call on the trace stack.
 type frame struct {
 	s       *Span

@@ -1,0 +1,150 @@
+package opt
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"qpp/internal/plan"
+)
+
+// FeedbackFormatVersion is the serialization version of FeedbackStore.
+// Bump it when the layout or the semantics of the accumulators change;
+// Load rejects stores written by a different version instead of
+// silently misreading them.
+const FeedbackFormatVersion = 1
+
+// NodeFeedback accumulates observed output cardinalities for one
+// operator position (preorder index) of one plan template. Keeping sums
+// rather than means makes merging associative and commutative.
+type NodeFeedback struct {
+	Count   int64   `json:"count"`
+	SumRows float64 `json:"sum_rows"`
+}
+
+// FeedbackStore closes the optimizer's cardinality loop: per-operator
+// actual row counts observed by the executor are keyed by the plan's
+// canonical template signature (plan.Node.Signature — structure without
+// parameter values) and the operator's preorder index within the main
+// tree, then fed back into the Est.Rows annotations of future plans of
+// the same template. This is the classic feedback remedy for the error
+// sources Section 5.3.3 of the paper discusses: selectivity estimates
+// for parameterized templates are systematically off, and the observed
+// cardinalities of prior executions are the best available correction.
+//
+// The store is deterministic end to end: signatures are canonical
+// strings, accumulators are order-insensitive sums, Merge is
+// commutative, and Save renders JSON with sorted keys — so two stores
+// built from the same observations in any order serialize identically.
+type FeedbackStore struct {
+	Version   int                       `json:"version"`
+	Templates map[string][]NodeFeedback `json:"templates"`
+}
+
+// NewFeedbackStore returns an empty store.
+func NewFeedbackStore() *FeedbackStore {
+	return &FeedbackStore{Version: FeedbackFormatVersion, Templates: map[string][]NodeFeedback{}}
+}
+
+// feedbackRows is the executor's per-loop output convention (EXPLAIN
+// ANALYZE semantics): a rescanned operator reports per-scan rows, which
+// is what the estimate predicts.
+func feedbackRows(n *plan.Node) float64 {
+	loops := n.Act.Loops
+	if loops < 1 {
+		loops = 1
+	}
+	return n.Act.Rows / float64(loops)
+}
+
+// Record harvests the executed plan's per-operator actual row counts
+// into the template's accumulators. Only the main operator tree is
+// walked: the template signature describes exactly that tree, so
+// preorder indexes are stable across all plans sharing a signature.
+// Operators that never executed (inner sides short-circuited away)
+// leave their slot untouched.
+func (s *FeedbackStore) Record(root *plan.Node) {
+	sig := root.Signature()
+	nodes := root.SubPlanList()
+	fb := s.Templates[sig]
+	for len(fb) < len(nodes) {
+		fb = append(fb, NodeFeedback{})
+	}
+	for i, n := range nodes {
+		if !n.Act.Executed {
+			continue
+		}
+		fb[i].Count++
+		fb[i].SumRows += feedbackRows(n)
+	}
+	s.Templates[sig] = fb
+}
+
+// Apply overwrites Est.Rows on the plan's operators with the mean
+// observed cardinality for their template position, returning how many
+// operators were corrected. Positions with no observations keep their
+// optimizer estimate. Apply adjusts annotations only — it runs after
+// planning, so plan choice is untouched; the corrected rows flow into
+// the QPP feature vectors (Tables 1 and 2 read Est.Rows) and any
+// consumer of the estimates.
+func (s *FeedbackStore) Apply(root *plan.Node) int {
+	fb, ok := s.Templates[root.Signature()]
+	if !ok {
+		return 0
+	}
+	applied := 0
+	for i, n := range root.SubPlanList() {
+		if i >= len(fb) || fb[i].Count == 0 {
+			continue
+		}
+		rows := fb[i].SumRows / float64(fb[i].Count)
+		if rows < 0 {
+			rows = 0
+		}
+		n.Est.Rows = rows
+		applied++
+	}
+	return applied
+}
+
+// Len returns the number of templates with observations.
+func (s *FeedbackStore) Len() int { return len(s.Templates) }
+
+// Merge folds other into s. Merging is commutative and associative:
+// accumulators add position-wise, and templates present in only one
+// operand copy over. Two stores holding the same observations merged in
+// any order serialize identically.
+func (s *FeedbackStore) Merge(other *FeedbackStore) {
+	for sig, ofb := range other.Templates {
+		fb := s.Templates[sig]
+		for len(fb) < len(ofb) {
+			fb = append(fb, NodeFeedback{})
+		}
+		for i := range ofb {
+			fb[i].Count += ofb[i].Count
+			fb[i].SumRows += ofb[i].SumRows
+		}
+		s.Templates[sig] = fb
+	}
+}
+
+// Save renders the store as canonical JSON: encoding/json sorts map
+// keys, so equal stores produce equal bytes.
+func (s *FeedbackStore) Save() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// LoadFeedback parses a store written by Save, rejecting other format
+// versions.
+func LoadFeedback(data []byte) (*FeedbackStore, error) {
+	var s FeedbackStore
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("opt: feedback store: %w", err)
+	}
+	if s.Version != FeedbackFormatVersion {
+		return nil, fmt.Errorf("opt: feedback store version %d, this build reads %d", s.Version, FeedbackFormatVersion)
+	}
+	if s.Templates == nil {
+		s.Templates = map[string][]NodeFeedback{}
+	}
+	return &s, nil
+}

@@ -1,0 +1,123 @@
+package opt
+
+import (
+	"bytes"
+	"testing"
+
+	"qpp/internal/plan"
+)
+
+// fbPlan builds a tiny two-level plan with the given actuals on the
+// scan node, mimicking a re-executed template instance.
+func fbPlan(estRows, actRows float64, loops int) *plan.Node {
+	scan := &plan.Node{
+		Op:    plan.OpSeqScan,
+		Table: "lineitem",
+		Est:   plan.Estimates{Rows: estRows},
+		Act:   plan.Actuals{Executed: true, Rows: actRows, Loops: loops},
+	}
+	return &plan.Node{
+		Op:       plan.OpAggregate,
+		Children: []*plan.Node{scan},
+		Est:      plan.Estimates{Rows: 1},
+		Act:      plan.Actuals{Executed: true, Rows: 1, Loops: 1},
+	}
+}
+
+func TestFeedbackRecordApply(t *testing.T) {
+	s := NewFeedbackStore()
+	s.Record(fbPlan(100, 1000, 1))
+	s.Record(fbPlan(100, 3000, 1))
+	// A rescanned operator records per-loop rows.
+	s.Record(fbPlan(100, 4000, 2))
+
+	fresh := fbPlan(100, 0, 0)
+	fresh.Children[0].Act = plan.Actuals{}
+	fresh.Act = plan.Actuals{}
+	if applied := s.Apply(fresh); applied != 2 {
+		t.Fatalf("applied %d nodes, want 2", applied)
+	}
+	// mean(1000, 3000, 2000) = 2000.
+	if got := fresh.Children[0].Est.Rows; got != 2000 {
+		t.Fatalf("corrected rows %v, want 2000", got)
+	}
+
+	// A different template is untouched.
+	other := &plan.Node{Op: plan.OpSeqScan, Table: "orders", Est: plan.Estimates{Rows: 7}}
+	if applied := s.Apply(other); applied != 0 || other.Est.Rows != 7 {
+		t.Fatalf("unrelated template modified: applied=%d rows=%v", applied, other.Est.Rows)
+	}
+}
+
+func TestFeedbackSkipsUnexecuted(t *testing.T) {
+	s := NewFeedbackStore()
+	p := fbPlan(100, 500, 1)
+	p.Children[0].Act.Executed = false
+	s.Record(p)
+	fresh := fbPlan(100, 0, 0)
+	s.Apply(fresh)
+	if fresh.Children[0].Est.Rows != 100 {
+		t.Fatalf("unexecuted node fed back: rows %v", fresh.Children[0].Est.Rows)
+	}
+	if fresh.Est.Rows != 1 {
+		t.Fatalf("root not corrected: %v", fresh.Est.Rows)
+	}
+}
+
+// TestFeedbackMergeCommutativeDeterministic: merge order does not
+// matter, and equal stores serialize byte-identically.
+func TestFeedbackMergeCommutativeDeterministic(t *testing.T) {
+	build := func(rows ...float64) *FeedbackStore {
+		s := NewFeedbackStore()
+		for _, r := range rows {
+			s.Record(fbPlan(100, r, 1))
+		}
+		return s
+	}
+	a1, b1 := build(10, 20), build(30)
+	a2, b2 := build(10, 20), build(30)
+	// b2 also saw a template a2 never did.
+	other := &plan.Node{Op: plan.OpSeqScan, Table: "orders",
+		Act: plan.Actuals{Executed: true, Rows: 9, Loops: 1}}
+	b1.Record(other)
+	b2.Record(other)
+
+	a1.Merge(b1)
+	b2.Merge(a2)
+	ja, err := a1.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b2.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("merge not commutative:\n%s\n%s", ja, jb)
+	}
+
+	loaded, err := LoadFeedback(ja)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := loaded.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jc) {
+		t.Fatal("save/load round trip is not a fixed point")
+	}
+}
+
+func TestFeedbackLoadRejectsVersions(t *testing.T) {
+	if _, err := LoadFeedback([]byte(`{"version":99,"templates":{}}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := LoadFeedback([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	s, err := LoadFeedback([]byte(`{"version":1}`))
+	if err != nil || s.Templates == nil {
+		t.Fatalf("minimal store: %v %+v", err, s)
+	}
+}

@@ -301,6 +301,33 @@ func (n *Node) writeSignature(sb *strings.Builder) {
 	}
 }
 
+// CardQError returns the cardinality q-error of the node's row estimate
+// against its observed per-loop output: max(est/act, act/est), with both
+// sides floored at one row so empty results do not divide by zero. The
+// q-error is the standard symmetric measure of cardinality estimation
+// quality; 1 is a perfect estimate. Returns 0 for nodes that never
+// executed (no observation to compare against).
+func (n *Node) CardQError() float64 {
+	if !n.Act.Executed {
+		return 0
+	}
+	loops := n.Act.Loops
+	if loops < 1 {
+		loops = 1
+	}
+	est, act := n.Est.Rows, n.Act.Rows/float64(loops)
+	if est < 1 {
+		est = 1
+	}
+	if act < 1 {
+		act = 1
+	}
+	if est > act {
+		return est / act
+	}
+	return act / est
+}
+
 // SubPlanList returns every sub-tree of the main operator tree (including
 // the root itself), in pre-order.
 func (n *Node) SubPlanList() []*Node {

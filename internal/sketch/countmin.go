@@ -1,0 +1,127 @@
+package sketch
+
+// Count-Min geometry. Width 2048 bounds the overestimate at
+// e/2048 ≈ 0.13% of the stream length per update; depth 4 drives the
+// failure probability of that bound to (1/e)^4 ≈ 1.8%. 4·2048 uint64
+// counters are 64 KiB per column — bounded regardless of scale factor.
+const (
+	CountMinDepth = 4
+	CountMinWidth = 2048
+)
+
+// CountMin is a Count-Min frequency sketch. Estimates never
+// underestimate the true count of a key (every update increments all of
+// a key's counters), which is the invariant MCV frequency estimation
+// relies on: a value reported heavy truly occurred at least
+// (estimate - εN) times.
+type CountMin struct {
+	rows [CountMinDepth][CountMinWidth]uint64
+	n    uint64 // total updates (stream length)
+}
+
+// NewCountMin returns an empty Count-Min sketch.
+func NewCountMin() *CountMin { return &CountMin{} }
+
+// positions derives the per-row counter indexes from one 64-bit hash via
+// the Kirsch-Mitzenmacher construction g_i(x) = h1 + i·h2. h2 is forced
+// odd so the row index sequences never degenerate.
+func cmPositions(h uint64) [CountMinDepth]uint32 {
+	h1 := h
+	h2 := mix64(h^hashSeed) | 1
+	var pos [CountMinDepth]uint32
+	for i := 0; i < CountMinDepth; i++ {
+		pos[i] = uint32((h1 + uint64(i)*h2) & (CountMinWidth - 1))
+	}
+	return pos
+}
+
+// Add observes key count times and returns the updated estimate.
+func (c *CountMin) Add(key []byte, count uint64) uint64 {
+	return c.AddHash(Hash64(key), count)
+}
+
+// AddHash is Add over a pre-hashed key.
+func (c *CountMin) AddHash(h uint64, count uint64) uint64 {
+	pos := cmPositions(h)
+	c.n += count
+	min := ^uint64(0)
+	for i := 0; i < CountMinDepth; i++ {
+		c.rows[i][pos[i]] += count
+		if v := c.rows[i][pos[i]]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Estimate returns the (over-)estimated count of key.
+func (c *CountMin) Estimate(key []byte) uint64 {
+	return c.EstimateHash(Hash64(key))
+}
+
+// EstimateHash is Estimate over a pre-hashed key.
+func (c *CountMin) EstimateHash(h uint64) uint64 {
+	pos := cmPositions(h)
+	min := ^uint64(0)
+	for i := 0; i < CountMinDepth; i++ {
+		if v := c.rows[i][pos[i]]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// N returns the total number of observations.
+func (c *CountMin) N() uint64 { return c.n }
+
+// Merge folds other into c (counter-wise addition). Commutative:
+// merge(a,b) and merge(b,a) are byte-identical.
+func (c *CountMin) Merge(other *CountMin) {
+	for i := range c.rows {
+		for j := range c.rows[i] {
+			c.rows[i][j] += other.rows[i][j]
+		}
+	}
+	c.n += other.n
+}
+
+// MarshalBinary renders the sketch in its canonical byte encoding.
+func (c *CountMin) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 2+8+CountMinDepth*CountMinWidth*8)
+	out = appendHeader(out, kindCountMin)
+	out = appendU64(out, c.n)
+	for i := range c.rows {
+		for j := range c.rows[i] {
+			out = appendU64(out, c.rows[i][j])
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores a sketch from MarshalBinary output.
+func (c *CountMin) UnmarshalBinary(data []byte) error {
+	body, err := checkHeader(data, kindCountMin)
+	if err != nil {
+		return err
+	}
+	want := 8 + CountMinDepth*CountMinWidth*8
+	if len(body) != want {
+		return errSizef("countmin", len(body), want)
+	}
+	n, body, err := readU64(body)
+	if err != nil {
+		return err
+	}
+	c.n = n
+	for i := range c.rows {
+		for j := range c.rows[i] {
+			v, rest, err := readU64(body)
+			if err != nil {
+				return err
+			}
+			c.rows[i][j] = v
+			body = rest
+		}
+	}
+	return nil
+}

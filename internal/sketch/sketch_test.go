@@ -1,0 +1,607 @@
+package sketch
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// --- HyperLogLog -----------------------------------------------------
+
+// TestHLLWithinTheoreticalBound: the NDV estimate stays within 3 standard
+// errors (3·1.04/sqrt(m)) of the truth across six orders of magnitude,
+// for sequential and seeded-random key streams. Deterministic: fixed
+// keys, fixed hash seed.
+func TestHLLWithinTheoreticalBound(t *testing.T) {
+	bound := 3 * NewHLL().RelativeErrorBound()
+	for _, n := range []int{10, 100, 1000, 10000, 100000, 1000000} {
+		for _, mode := range []string{"seq", "rand"} {
+			h := NewHLL()
+			rng := rand.New(rand.NewSource(int64(n)))
+			var buf []byte
+			for i := 0; i < n; i++ {
+				buf = buf[:0]
+				switch mode {
+				case "seq":
+					buf = strconv.AppendInt(buf, int64(i), 10)
+				default:
+					buf = strconv.AppendInt(buf, rng.Int63(), 10)
+				}
+				h.Add(buf)
+			}
+			est := h.Estimate()
+			rel := math.Abs(est-float64(n)) / float64(n)
+			// Random keys can repeat; the distinct count is <= n, so only
+			// enforce the bound against the exact distinct count.
+			if mode == "rand" {
+				continue // covered by the quick property below with exact truth
+			}
+			if rel > bound {
+				t.Errorf("n=%d mode=%s: estimate %.1f, relative error %.4f > bound %.4f",
+					n, mode, est, rel, bound)
+			}
+		}
+	}
+}
+
+// TestHLLRandomKeysProperty: for random key sets with exact distinct
+// counts, the estimate honors the 3-sigma bound.
+func TestHLLRandomKeysProperty(t *testing.T) {
+	bound := 3 * NewHLL().RelativeErrorBound()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(50000)
+		h := NewHLL()
+		seen := make(map[uint64]bool, n)
+		var buf []byte
+		for i := 0; i < n; i++ {
+			k := rng.Uint64()
+			seen[k] = true
+			buf = strconv.AppendUint(buf[:0], k, 10)
+			h.Add(buf)
+			// Duplicates must not move the estimate.
+			if i%7 == 0 {
+				h.Add(buf)
+			}
+		}
+		truth := float64(len(seen))
+		rel := math.Abs(h.Estimate()-truth) / truth
+		return rel <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHLLMergeEqualsUnion: merging sketches of two streams equals
+// sketching the concatenated stream, and merge is byte-commutative.
+func TestHLLMergeEqualsUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, union := NewHLL(), NewHLL(), NewHLL()
+		var buf []byte
+		for i, n := 0, 200+rng.Intn(2000); i < n; i++ {
+			buf = strconv.AppendInt(buf[:0], rng.Int63n(5000), 10)
+			if rng.Intn(2) == 0 {
+				a.Add(buf)
+			} else {
+				b.Add(buf)
+			}
+			union.Add(buf)
+		}
+		ab := NewHLL()
+		ab.Merge(a)
+		ab.Merge(b)
+		ba := NewHLL()
+		ba.Merge(b)
+		ba.Merge(a)
+		mab, _ := ab.MarshalBinary()
+		mba, _ := ba.MarshalBinary()
+		mu, _ := union.MarshalBinary()
+		return bytes.Equal(mab, mba) && bytes.Equal(mab, mu)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Count-Min -------------------------------------------------------
+
+// TestCountMinNeverUnderestimates: the defining guarantee, checked
+// against exact counts over adversarially skewed streams.
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cm := NewCountMin()
+		exact := map[string]uint64{}
+		n := 500 + rng.Intn(20000)
+		var buf []byte
+		for i := 0; i < n; i++ {
+			// Zipf-ish skew: small ids dominate.
+			id := int64(float64(rng.Intn(1000)) * rng.Float64() * rng.Float64())
+			buf = strconv.AppendInt(buf[:0], id, 10)
+			cm.Add(buf, 1)
+			exact[string(buf)]++
+		}
+		keys := make([]string, 0, len(exact))
+		for k := range exact {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if cm.Estimate([]byte(k)) < exact[k] {
+				return false
+			}
+		}
+		return cm.N() == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCountMinOverestimateBound: estimates exceed truth by at most
+// 2·(e/width)·N across all keys in expectation-dominated streams; the
+// fixed seeds make this a regression pin rather than a probabilistic
+// assertion.
+func TestCountMinOverestimateBound(t *testing.T) {
+	cm := NewCountMin()
+	exact := map[string]uint64{}
+	rng := rand.New(rand.NewSource(7))
+	const n = 100000
+	var buf []byte
+	for i := 0; i < n; i++ {
+		buf = strconv.AppendInt(buf[:0], rng.Int63n(5000), 10)
+		cm.Add(buf, 1)
+		exact[string(buf)]++
+	}
+	eps := math.E / float64(CountMinWidth)
+	slack := 2 * eps * float64(n)
+	keys := make([]string, 0, len(exact))
+	for k := range exact {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		est := cm.Estimate([]byte(k))
+		if float64(est-exact[k]) > slack {
+			t.Fatalf("key %s: estimate %d exceeds exact %d by more than %f", k, est, exact[k], slack)
+		}
+	}
+}
+
+// TestCountMinMergeCommutative: merge equals the union stream and is
+// byte-commutative.
+func TestCountMinMergeCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, union := NewCountMin(), NewCountMin(), NewCountMin()
+		var buf []byte
+		for i, n := 0, 100+rng.Intn(3000); i < n; i++ {
+			buf = strconv.AppendInt(buf[:0], rng.Int63n(300), 10)
+			if rng.Intn(2) == 0 {
+				a.Add(buf, 1)
+			} else {
+				b.Add(buf, 1)
+			}
+			union.Add(buf, 1)
+		}
+		ab := NewCountMin()
+		ab.Merge(a)
+		ab.Merge(b)
+		ba := NewCountMin()
+		ba.Merge(b)
+		ba.Merge(a)
+		mab, _ := ab.MarshalBinary()
+		mba, _ := ba.MarshalBinary()
+		mu, _ := union.MarshalBinary()
+		return bytes.Equal(mab, mba) && bytes.Equal(mab, mu)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- TopK ------------------------------------------------------------
+
+// TestTopKFindsHeavyHitters: keys holding >= 2% of a skewed stream are
+// always retained when driven by Count-Min estimates.
+func TestTopKFindsHeavyHitters(t *testing.T) {
+	cm := NewCountMin()
+	tk := NewTopK(80)
+	exact := map[string]uint64{}
+	rng := rand.New(rand.NewSource(11))
+	const n = 50000
+	var buf []byte
+	for i := 0; i < n; i++ {
+		var id int64
+		if rng.Intn(100) < 40 {
+			id = int64(rng.Intn(10)) // 10 heavy keys share ~40%
+		} else {
+			id = 10 + rng.Int63n(100000)
+		}
+		buf = strconv.AppendInt(buf[:0], id, 10)
+		est := cm.Add(buf, 1)
+		tk.Offer(buf, est)
+		exact[string(buf)]++
+	}
+	top := tk.Top(20)
+	have := map[string]bool{}
+	for _, e := range top {
+		have[e.Key] = true
+	}
+	keys := make([]string, 0, len(exact))
+	for k := range exact {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if float64(exact[k]) >= 0.02*n && !have[k] {
+			t.Fatalf("heavy key %s (count %d) missing from top-20 %v", k, exact[k], top)
+		}
+	}
+}
+
+// TestTopKExactWhenNoEviction: below capacity the candidate set is the
+// exact distinct set, in deterministic order.
+func TestTopKExactWhenNoEviction(t *testing.T) {
+	tk := NewTopK(10)
+	for i := 0; i < 8; i++ {
+		key := []byte{byte('a' + i)}
+		tk.Offer(key, uint64(i+1))
+	}
+	if tk.Evicted() {
+		t.Fatal("no eviction should have happened")
+	}
+	if tk.Len() != 8 {
+		t.Fatalf("len %d", tk.Len())
+	}
+	top := tk.Top(3)
+	want := []Entry{{"h", 8}, {"g", 7}, {"f", 6}}
+	for i, e := range top {
+		if e != want[i] {
+			t.Fatalf("top[%d] = %+v, want %+v", i, e, want[i])
+		}
+	}
+}
+
+// TestTopKDeterministicTies: equal counts order and evict by key bytes,
+// never by map iteration order.
+func TestTopKDeterministicTies(t *testing.T) {
+	run := func() []Entry {
+		tk := NewTopK(3)
+		for _, k := range []string{"d", "b", "c", "a", "e"} {
+			tk.Offer([]byte(k), 5)
+		}
+		return tk.Top(3)
+	}
+	first := run()
+	for i := 0; i < 50; i++ {
+		if got := run(); !entriesEqual(got, first) {
+			t.Fatalf("run %d produced %v, first run %v", i, got, first)
+		}
+	}
+	// Ties evict the lexicographically largest candidate, so the three
+	// smallest keys survive.
+	want := []Entry{{"a", 5}, {"b", 5}, {"c", 5}}
+	if !entriesEqual(first, want) {
+		t.Fatalf("tie survivors %v, want %v", first, want)
+	}
+}
+
+// TestTopKRejectionBreaksCompleteness: a distinct key turned away at a
+// full heap (not only one displacing an entry) must clear the
+// exact-candidate-set claim. Regression: 100 equal-count keys arriving
+// in ascending key order never displace anything, yet only 80 are
+// tracked.
+func TestTopKRejectionBreaksCompleteness(t *testing.T) {
+	tk := NewTopK(80)
+	var buf []byte
+	for i := 0; i < 100; i++ {
+		buf = strconv.AppendInt(buf[:0], 1000+int64(i), 10)
+		tk.Offer(buf, 1)
+	}
+	if !tk.Evicted() {
+		t.Fatal("100 distinct keys through a size-80 tracker must report eviction")
+	}
+	if tk.Len() != 80 {
+		t.Fatalf("len %d", tk.Len())
+	}
+}
+
+func entriesEqual(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Quantile --------------------------------------------------------
+
+// quantileDistributions are the streams the rank-error property runs
+// over: uniform, normal, heavily duplicated, pre-sorted ascending and
+// descending, and constant.
+func quantileDistributions(n int, seed int64) map[string][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := map[string][]float64{}
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = rng.Float64() * 1e6
+	}
+	out["uniform"] = u
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = rng.NormFloat64() * 100
+	}
+	out["normal"] = g
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = float64(rng.Intn(50))
+	}
+	out["duplicated"] = d
+	asc := make([]float64, n)
+	for i := range asc {
+		asc[i] = float64(i)
+	}
+	out["ascending"] = asc
+	desc := make([]float64, n)
+	for i := range desc {
+		desc[i] = float64(n - i)
+	}
+	out["descending"] = desc
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = 42
+	}
+	out["constant"] = c
+	return out
+}
+
+// trueRank counts values <= x in the reference slice (sorted).
+func trueRank(sorted []float64, x float64) int {
+	return sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+}
+
+// TestQuantileRankErrorBound: every equi-depth boundary the sketch
+// reports sits within N/bins true ranks of its target, for bins up to
+// QuantileBinsMax, across all distributions and sizes up to 10^6.
+func TestQuantileRankErrorBound(t *testing.T) {
+	sizes := []int{100, 10000, 200000}
+	if !testing.Short() {
+		sizes = append(sizes, 1000000)
+	}
+	for _, n := range sizes {
+		for name, vals := range quantileDistributions(n, int64(n)) {
+			q := NewQuantile()
+			for _, v := range vals {
+				q.Add(v)
+			}
+			sorted := append([]float64(nil), vals...)
+			sort.Float64s(sorted)
+			for _, bins := range []int{10, QuantileBinsMax} {
+				b := q.Bounds(bins)
+				eb := bins
+				if eb > n {
+					eb = n
+				}
+				if len(b) != eb+1 {
+					t.Fatalf("n=%d %s bins=%d: %d bounds", n, name, bins, len(b))
+				}
+				budget := float64(n) / float64(bins)
+				for i := 1; i < len(b)-1; i++ {
+					target := float64(i) * float64(n) / float64(eb)
+					got := float64(trueRank(sorted, b[i]))
+					// The boundary value's own duplicates can legitimately
+					// carry its true rank past the target; measure the
+					// nearest rank the value's occurrences cover.
+					lo := float64(sort.SearchFloat64s(sorted, b[i]))
+					err := 0.0
+					switch {
+					case target < lo:
+						err = lo - target
+					case target > got:
+						err = target - got
+					}
+					if err > budget {
+						t.Fatalf("n=%d %s bins=%d boundary %d (v=%g): rank error %.0f > budget %.0f",
+							n, name, bins, i, b[i], err, budget)
+					}
+				}
+				if b[0] != sorted[0] || b[len(b)-1] != sorted[n-1] {
+					t.Fatalf("n=%d %s: end bounds %g..%g, want exact %g..%g",
+						n, name, b[0], b[len(b)-1], sorted[0], sorted[n-1])
+				}
+			}
+		}
+	}
+}
+
+// TestQuantileMergeCommutative: merge(a,b) and merge(b,a) marshal
+// byte-identically and keep the rank-error budget.
+func TestQuantileMergeCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := NewQuantile(), NewQuantile()
+		n := 500 + rng.Intn(20000)
+		all := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64() * 1000
+			all = append(all, v)
+			if rng.Intn(2) == 0 {
+				a.Add(v)
+			} else {
+				b.Add(v)
+			}
+		}
+		ab, ba := NewQuantile(), NewQuantile()
+		ab.Merge(a)
+		ab.Merge(b)
+		ba.Merge(b)
+		ba.Merge(a)
+		mab, _ := ab.MarshalBinary()
+		mba, _ := ba.MarshalBinary()
+		if !bytes.Equal(mab, mba) {
+			return false
+		}
+		// The merged sketch still answers within a doubled budget (each
+		// operand contributes its own compaction error).
+		sort.Float64s(all)
+		bounds := ab.Bounds(QuantileBinsMax)
+		budget := 2 * float64(n) / float64(QuantileBinsMax)
+		for i := 1; i < len(bounds)-1; i++ {
+			target := float64(i) * float64(n) / float64(QuantileBinsMax)
+			got := float64(trueRank(all, bounds[i]))
+			lo := float64(sort.SearchFloat64s(all, bounds[i]))
+			if (target < lo && lo-target > budget) || (target > got && target-got > budget) {
+				return false
+			}
+		}
+		return ab.N() == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantileBoundedMemory: level count grows logarithmically, level
+// sizes stay under the cap — the O(cap·log(N/cap)) memory contract.
+func TestQuantileBoundedMemory(t *testing.T) {
+	q := NewQuantile()
+	for i := 0; i < 1000000; i++ {
+		q.Add(float64(i % 9973))
+	}
+	if len(q.levels) > 16 {
+		t.Fatalf("%d levels for 10^6 inserts", len(q.levels))
+	}
+	for l, lv := range q.levels {
+		if len(lv) > QuantileCap {
+			t.Fatalf("level %d holds %d items, cap %d", l, len(lv), QuantileCap)
+		}
+	}
+}
+
+// --- serialization ---------------------------------------------------
+
+// TestSerializeRoundTrips: marshal → unmarshal → marshal is a fixed
+// point for every sketch kind, and corrupted headers are rejected.
+func TestSerializeRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h, cm, q := NewHLL(), NewCountMin(), NewQuantile()
+	var buf []byte
+	for i := 0; i < 5000; i++ {
+		buf = strconv.AppendInt(buf[:0], rng.Int63n(1000), 10)
+		h.Add(buf)
+		cm.Add(buf, 1)
+		q.Add(rng.NormFloat64())
+	}
+	check := func(name string, m interface {
+		MarshalBinary() ([]byte, error)
+	}, fresh func(data []byte) ([]byte, error)) {
+		b1, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		b2, err := fresh(b1)
+		if err != nil {
+			t.Fatalf("%s: round trip: %v", name, err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s: round trip is not a fixed point", name)
+		}
+		if _, err := fresh(nil); err == nil {
+			t.Fatalf("%s: empty input accepted", name)
+		}
+		bad := append([]byte(nil), b1...)
+		bad[0] ^= 0xff
+		if _, err := fresh(bad); err == nil {
+			t.Fatalf("%s: wrong kind byte accepted", name)
+		}
+		bad = append([]byte(nil), b1...)
+		bad[1] = formatVersion + 1
+		if _, err := fresh(bad); err == nil {
+			t.Fatalf("%s: future format version accepted", name)
+		}
+	}
+	check("hll", h, func(data []byte) ([]byte, error) {
+		x := NewHLL()
+		if err := x.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		return x.MarshalBinary()
+	})
+	check("countmin", cm, func(data []byte) ([]byte, error) {
+		x := NewCountMin()
+		if err := x.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		return x.MarshalBinary()
+	})
+	check("quantile", q, func(data []byte) ([]byte, error) {
+		x := NewQuantile()
+		if err := x.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		return x.MarshalBinary()
+	})
+}
+
+// TestHashDeterminism pins the hash function: a changed constant would
+// silently invalidate every persisted sketch.
+func TestHashDeterminism(t *testing.T) {
+	if got := Hash64([]byte("lineitem")); got != Hash64([]byte("lineitem")) {
+		t.Fatal("hash is not deterministic")
+	}
+	if Hash64([]byte("a")) == Hash64([]byte("b")) {
+		t.Fatal("trivial collision")
+	}
+	// Register dispersion sanity: sequential ints should fill registers.
+	h := NewHLL()
+	var buf []byte
+	for i := 0; i < 100000; i++ {
+		buf = strconv.AppendInt(buf[:0], int64(i), 10)
+		h.Add(buf)
+	}
+	zeros := 0
+	for _, r := range h.reg {
+		if r == 0 {
+			zeros++
+		}
+	}
+	if zeros > hllM/100 {
+		t.Fatalf("%d of %d registers untouched after 10^5 distinct keys", zeros, hllM)
+	}
+}
+
+func BenchmarkSketchInsert(b *testing.B) {
+	for _, kind := range []string{"hll", "countmin", "quantile"} {
+		b.Run(kind, func(b *testing.B) {
+			h, cm, q := NewHLL(), NewCountMin(), NewQuantile()
+			var buf []byte
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				switch kind {
+				case "hll":
+					buf = strconv.AppendInt(buf[:0], int64(i), 10)
+					h.Add(buf)
+				case "countmin":
+					buf = strconv.AppendInt(buf[:0], int64(i), 10)
+					cm.Add(buf, 1)
+				default:
+					q.Add(float64(i))
+				}
+			}
+		})
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt imported for debug scaffolding in failures

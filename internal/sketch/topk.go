@@ -1,0 +1,148 @@
+package sketch
+
+import "sort"
+
+// TopK tracks the heavy-hitter candidates of a stream: the k keys with
+// the largest Count-Min estimates seen so far. It is the MCV-list side
+// of the Count-Min sketch — CM alone can estimate any key's frequency
+// but cannot enumerate the heavy ones, so ANALYZE offers every observed
+// key here and keeps the survivors.
+//
+// The structure is a min-heap of (count, key) with a map for O(1)
+// membership, totally ordered by (count, then key bytes descending) so
+// eviction is deterministic: ties never depend on map iteration order.
+// A key whose estimate exceeds the current minimum evicts it; keys
+// already tracked only ever grow. Memory is O(k) strings.
+type TopK struct {
+	cap     int
+	heap    []tkEntry
+	pos     map[string]int // key -> heap index; single-writer, no locking
+	evicted bool
+}
+
+type tkEntry struct {
+	key   string
+	count uint64
+}
+
+// NewTopK returns a tracker keeping at most k candidates.
+func NewTopK(k int) *TopK {
+	return &TopK{cap: k, pos: make(map[string]int, k)}
+}
+
+// Offer reports an observation of key with its current count estimate.
+// The key bytes are only copied when the key actually enters the
+// candidate set, so the common case (already tracked, or too small)
+// allocates nothing.
+func (t *TopK) Offer(key []byte, count uint64) {
+	if i, ok := t.pos[string(key)]; ok { // no-alloc map probe
+		t.heap[i].count = count
+		t.siftDown(i)
+		return
+	}
+	if len(t.heap) < t.cap {
+		t.heap = append(t.heap, tkEntry{key: string(key), count: count})
+		i := len(t.heap) - 1
+		t.pos[t.heap[i].key] = i
+		t.siftUp(i)
+		return
+	}
+	// The heap is full and this key is not in it: whether it displaces
+	// the minimum or is turned away, a distinct key now falls outside
+	// the candidate set, so completeness is lost either way.
+	t.evicted = true
+	if t.cap == 0 {
+		return
+	}
+	// Replace the minimum only when the newcomer is strictly greater
+	// under the total order (count, then key bytes descending).
+	min := t.heap[0]
+	if count < min.count || (count == min.count && !(string(key) < min.key)) {
+		return
+	}
+	delete(t.pos, t.heap[0].key)
+	t.heap[0] = tkEntry{key: string(key), count: count}
+	t.pos[t.heap[0].key] = 0
+	t.siftDown(0)
+}
+
+// Evicted reports whether any distinct key ever fell outside the
+// candidate set — displaced from the full heap or turned away at it.
+// When false, the candidate set is exactly the set of distinct keys
+// observed — the low-cardinality case where ANALYZE can report exact
+// NDV and a complete MCV list.
+func (t *TopK) Evicted() bool { return t.evicted }
+
+// Len returns the current candidate count.
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Entry is one surviving candidate.
+type Entry struct {
+	Key   string
+	Count uint64
+}
+
+// Top returns up to n candidates ordered by count descending, key
+// ascending — the deterministic MCV order.
+func (t *TopK) Top(n int) []Entry {
+	out := make([]Entry, 0, len(t.heap))
+	for _, e := range t.heap {
+		out = append(out, Entry{Key: e.key, Count: e.count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// tkLess is the heap's total order: smallest count first, ties broken by
+// key bytes descending (so on a tie the lexicographically larger key
+// sits nearer the root and is evicted first — any fixed choice works,
+// it just must be total).
+func tkLess(a, b tkEntry) bool {
+	if a.count != b.count {
+		return a.count < b.count
+	}
+	return a.key > b.key
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !tkLess(t.heap[i], t.heap[p]) {
+			return
+		}
+		t.swap(i, p)
+		i = p
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(t.heap) && tkLess(t.heap[l], t.heap[small]) {
+			small = l
+		}
+		if r < len(t.heap) && tkLess(t.heap[r], t.heap[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		t.swap(i, small)
+		i = small
+	}
+}
+
+func (t *TopK) swap(i, j int) {
+	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
+	t.pos[t.heap[i].key] = i
+	t.pos[t.heap[j].key] = j
+}

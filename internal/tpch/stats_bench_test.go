@@ -1,0 +1,34 @@
+package tpch
+
+import (
+	"testing"
+
+	"qpp/internal/catalog"
+)
+
+// BenchmarkAnalyzeStats pits the streaming-sketch ANALYZE against the
+// exact oracle over the largest TPC-H table at SF 0.1 (~600k lineitem
+// rows). The sketch pass is the production path; the exact pass sorts
+// and counts every column, so the ratio recorded in BENCH_stats.json is
+// the price the differential oracle pays for being exact. allocs/op is
+// the number to watch for the sketch: one bounded set of sketches per
+// column, reused key buffer, no per-row allocation beyond map growth.
+func BenchmarkAnalyzeStats(b *testing.B) {
+	db, err := Generate(GenConfig{ScaleFactor: 0.1, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl := db.Tables["lineitem"]
+	b.Run("sketch/lineitem", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			catalog.AnalyzeRowsSketch(tbl.Meta, tbl.Rows)
+		}
+	})
+	b.Run("exact/lineitem", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			catalog.AnalyzeRows(tbl.Meta, tbl.Rows)
+		}
+	})
+}

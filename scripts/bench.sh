@@ -7,7 +7,7 @@
 # PR gate checks: compiled ns/op must beat interpreted by >= 1.5x on the
 # Q6 hot path while allocs/op stay at or below the interpreted figures.
 #
-#   scripts/bench.sh            # ~1 min, writes BENCH_exec.json + BENCH_serve.json
+#   scripts/bench.sh            # ~2 min, writes BENCH_exec.json + BENCH_stats.json + BENCH_serve.json
 #   scripts/bench.sh -benchtime 5x   # extra args go to `go test`
 #
 # Output schema (one object per benchmark line):
@@ -94,6 +94,59 @@ END {
 ' "$tmp" > "$out"
 
 printf '\nwrote %s (%s benchmark lines)\n' "$out" "$(grep -c '"name"' "$out")"
+
+# --- ANALYZE statistics benchmark -------------------------------------
+# One pass over lineitem at SF 0.1 (~600k rows) per path: the streaming
+# sketch ANALYZE (production) vs the exact oracle (differential tests).
+# The baseline block freezes the exact-path figures recorded the day the
+# sketch path landed, so the sketch's memory/alloc advantage is always
+# measured against the same denominator.
+stats_out=BENCH_stats.json
+stats_tmp="$(mktemp)"
+
+go test -run '^$' -bench BenchmarkAnalyzeStats -benchmem -benchtime=1x \
+	"$@" ./internal/tpch/ | tee "$stats_tmp"
+
+awk -v goversion="$(go version)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters = $2
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "B/op") bytes = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+	if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+	if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+	line = line "}"
+	lines[n++] = line
+}
+END {
+	if (n == 0) {
+		print "no stats benchmark lines parsed" > "/dev/stderr"
+		exit 1
+	}
+	print "{"
+	printf "  \"go\": \"%s\",\n", goversion
+	# Frozen exact-ANALYZE reference (lineitem, SF 0.1, the day the
+	# sketch path landed): ~3.1s, 247 MB, 8.1M allocs per pass.
+	print "  \"baseline\": ["
+	print "    {\"name\": \"BenchmarkAnalyzeStats/exact/lineitem\", \"iterations\": 1, \"ns_per_op\": 3123666067, \"bytes_per_op\": 247272304, \"allocs_per_op\": 8094467}"
+	print "  ],"
+	print "  \"benchmarks\": ["
+	for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+	print "  ]"
+	print "}"
+}
+' "$stats_tmp" > "$stats_out"
+rm -f "$stats_tmp"
+
+printf '\nwrote %s (%s benchmark lines)\n' "$stats_out" "$(grep -c '"name"' "$stats_out")"
 
 # --- serving load benchmark -------------------------------------------
 # qppload self-waits on /healthz, so no curl/sleep polling here; the

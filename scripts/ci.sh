@@ -22,6 +22,9 @@
 #   7. fuzz smoke  — 5s of FuzzParse on the SQL grammar
 #   8. serve smoke — 5s of FuzzPredictRequest on the qppserve /predict
 #                    decode→plan→predict path
+#   9. sketch smoke — 5s of FuzzSketch on the streaming-statistics
+#                    sketches (decoder robustness + cross-sketch
+#                    invariants; see internal/sketch)
 #
 # The parallel execution layer (internal/parallel, workload builds, fold
 # training, figure drivers) is only trusted because stage 5 passes clean;
@@ -99,5 +102,8 @@ go test -fuzz=FuzzParse -fuzztime=5s -run '^$' ./internal/sql
 
 banner "serve fuzz smoke (FuzzPredictRequest, 5s)"
 go test -fuzz=FuzzPredictRequest -fuzztime=5s -run '^$' ./internal/serve
+
+banner "sketch fuzz smoke (FuzzSketch, 5s)"
+go test -fuzz=FuzzSketch -fuzztime=5s -run '^$' ./internal/sketch
 
 banner "CI OK"
