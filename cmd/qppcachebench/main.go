@@ -1,0 +1,321 @@
+// Command qppcachebench measures what the parametric plan cache buys on
+// the serving hot path and writes the trajectory to BENCH_plancache.json.
+//
+// Two experiments over all TPC-H templates:
+//
+//  1. Optimization time: wall-clock per-request planning cost on three
+//     paths — cold (parse + full DP join ordering), exact-match hit
+//     (query text seen in training: memo lookup), and parametric rebind
+//     (known template, unseen binding: signature lookup + clone +
+//     literal stamp + trace replay) — per template and aggregate. The
+//     PR gate is an aggregate cache-hit speedup >= 10x versus cold.
+//
+//  2. Plan quality: for parameter draws the cache never trained on,
+//     execute the cache-chosen plan and the optimizer's cold plan under
+//     the same virtual clock. The gate is zero correctness divergence
+//     (identical result rows) and cache virtual latency no worse than
+//     the optimizer on >= 90% of draws.
+//
+//     qppcachebench                        # defaults, writes BENCH_plancache.json
+//     qppcachebench -sf 0.005 -eval 8      # more eval draws
+//
+// The baseline block in the output freezes the no-cache (cold) planning
+// figures recorded the day the cache landed, so later regenerations on
+// faster machines never silently move the speedup denominator.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"qpp/internal/exec"
+	"qpp/internal/opt"
+	"qpp/internal/plan"
+	"qpp/internal/plancache"
+	"qpp/internal/tpch"
+	"qpp/internal/vclock"
+
+	"math/rand"
+)
+
+// frozenColdUS is the aggregate cold-planning cost (µs per request,
+// summed over one draw of every template) measured on the reference box
+// the day the plan cache landed — the frozen no-cache baseline.
+const frozenColdUS = 6429.4
+
+type templateResult struct {
+	Template      int     `json:"template"`
+	Candidates    int     `json:"candidates"`
+	Selector      bool    `json:"selector"`
+	ColdUS        float64 `json:"cold_plan_us"`
+	HitUS         float64 `json:"hit_plan_us"`
+	RebindUS      float64 `json:"rebind_plan_us"`
+	Speedup       float64 `json:"speedup"`
+	RebindSpeedup float64 `json:"rebind_speedup"`
+	Draws         int     `json:"draws"`
+	Wins          int     `json:"latency_wins"`
+	Divergences   int     `json:"divergences"`
+	CacheLatency  float64 `json:"cache_virtual_latency_sec"`
+	ColdLatency   float64 `json:"optimizer_virtual_latency_sec"`
+	MissedLookups int     `json:"missed_lookups"`
+}
+
+type aggregate struct {
+	ColdUS         float64 `json:"cold_plan_us"`
+	HitUS          float64 `json:"hit_plan_us"`
+	RebindUS       float64 `json:"rebind_plan_us"`
+	Speedup        float64 `json:"speedup"`
+	RebindSpeedup  float64 `json:"rebind_speedup"`
+	FrozenColdUS   float64 `json:"frozen_baseline_cold_plan_us"`
+	FrozenSpeedup  float64 `json:"frozen_baseline_speedup"`
+	Draws          int     `json:"draws"`
+	Wins           int     `json:"latency_wins"`
+	WinRate        float64 `json:"win_rate"`
+	Divergences    int     `json:"divergences"`
+	SpeedupGate    bool    `json:"speedup_gate_10x"`
+	WinRateGate    bool    `json:"win_rate_gate_90pct"`
+	CorrectnessOK  bool    `json:"zero_divergence"`
+	TemplatesTotal int     `json:"templates"`
+}
+
+type report struct {
+	Go        string           `json:"go"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	SF        float64          `json:"scale_factor"`
+	Seed      int64            `json:"seed"`
+	Train     int              `json:"train_draws_per_template"`
+	Eval      int              `json:"eval_draws_per_template"`
+	Templates []templateResult `json:"templates"`
+	Aggregate aggregate        `json:"aggregate"`
+}
+
+func genSQL(tmpl int, seed int64) (string, error) {
+	gq, err := tpch.GenQuery(tmpl, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return "", err
+	}
+	return gq.SQL, nil
+}
+
+// timePlanning returns the mean wall-clock µs of fn over the queries,
+// repeated until the total exceeds ~40ms so fast paths still get a
+// stable figure.
+func timePlanning(queries []string, fn func(string) error) (float64, error) {
+	reps := 0
+	var elapsed time.Duration
+	for elapsed < 40*time.Millisecond {
+		start := time.Now()
+		for _, q := range queries {
+			if err := fn(q); err != nil {
+				return 0, err
+			}
+		}
+		elapsed += time.Since(start)
+		reps++
+	}
+	return float64(elapsed.Microseconds()) / float64(reps) / float64(len(queries)), nil
+}
+
+func sameRows(a, b []plan.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func run() error {
+	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
+	seed := flag.Int64("seed", 42, "data generation seed")
+	train := flag.Int("train", 5, "training draws per template")
+	eval := flag.Int("eval", 6, "held-out evaluation draws per template")
+	out := flag.String("out", "BENCH_plancache.json", "output path")
+	flag.Parse()
+
+	log.Printf("qppcachebench: generating TPC-H at SF %g (seed %d)...", *sf, *seed)
+	db, err := tpch.Generate(tpch.GenConfig{ScaleFactor: *sf, Seed: *seed})
+	if err != nil {
+		return err
+	}
+
+	var trainSQL []string
+	trainByTmpl := make(map[int][]string, len(tpch.Templates))
+	for _, tmpl := range tpch.Templates {
+		for d := 0; d < *train; d++ {
+			q, err := genSQL(tmpl, 1000+int64(d))
+			if err != nil {
+				return err
+			}
+			trainSQL = append(trainSQL, q)
+			trainByTmpl[tmpl] = append(trainByTmpl[tmpl], q)
+		}
+	}
+	log.Printf("qppcachebench: building cache from %d training draws...", len(trainSQL))
+	buildStart := time.Now()
+	cache, err := plancache.Build(db, trainSQL, plancache.Config{LabelSeed: *seed})
+	if err != nil {
+		return err
+	}
+	log.Printf("qppcachebench: %d templates cached in %v", cache.Len(), time.Since(buildStart).Round(time.Millisecond))
+
+	rep := report{
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		SF:     *sf,
+		Seed:   *seed,
+		Train:  *train,
+		Eval:   *eval,
+	}
+	prof := vclock.DefaultProfile()
+	var agg aggregate
+	for ti, tmpl := range tpch.Templates {
+		evalSQL := make([]string, *eval)
+		for d := 0; d < *eval; d++ {
+			if evalSQL[d], err = genSQL(tmpl, 5000+int64(d)); err != nil {
+				return err
+			}
+		}
+		sig, _, err := plancache.Canonicalize(evalSQL[0])
+		if err != nil {
+			return err
+		}
+		tpl := cache.Template(sig)
+		if tpl == nil {
+			return fmt.Errorf("template %d missing from cache", tmpl)
+		}
+		tr := templateResult{Template: tmpl, Candidates: len(tpl.Candidates), Selector: tpl.HasSelector()}
+
+		tr.ColdUS, err = timePlanning(evalSQL, func(q string) error {
+			_, err := opt.PlanSQL(db, q)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		// Cache hits: repeats of query texts the server has seen, served
+		// from the exact-match memo.
+		tr.HitUS, err = timePlanning(trainByTmpl[tmpl], func(q string) error {
+			_, outcome, err := cache.Plan(q)
+			if err == nil && outcome == plancache.OutcomeMiss {
+				tr.MissedLookups++
+			}
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		// Parametric rebinds: known template, never-seen bindings.
+		tr.RebindUS, err = timePlanning(evalSQL, func(q string) error {
+			_, outcome, err := cache.Plan(q)
+			if err == nil && outcome == plancache.OutcomeMiss {
+				tr.MissedLookups++
+			}
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tr.Speedup = tr.ColdUS / tr.HitUS
+		tr.RebindSpeedup = tr.ColdUS / tr.RebindUS
+
+		for d, q := range evalSQL {
+			cached, outcome, err := cache.Plan(q)
+			if err != nil {
+				return err
+			}
+			if outcome == plancache.OutcomeMiss {
+				continue // already counted; nothing cached to compare
+			}
+			cold, err := opt.PlanSQL(db, q)
+			if err != nil {
+				return err
+			}
+			clockSeed := int64(ti*1000 + d)
+			rc, err := exec.Run(db, cached, vclock.NewClock(prof, clockSeed), exec.Options{})
+			if err != nil {
+				return err
+			}
+			rf, err := exec.Run(db, cold, vclock.NewClock(prof, clockSeed), exec.Options{})
+			if err != nil {
+				return err
+			}
+			tr.Draws++
+			tr.CacheLatency += rc.Elapsed
+			tr.ColdLatency += rf.Elapsed
+			if !sameRows(rc.Rows, rf.Rows) {
+				tr.Divergences++
+			}
+			if rc.Elapsed <= rf.Elapsed*(1+1e-9) {
+				tr.Wins++
+			}
+		}
+		rep.Templates = append(rep.Templates, tr)
+		agg.ColdUS += tr.ColdUS
+		agg.HitUS += tr.HitUS
+		agg.RebindUS += tr.RebindUS
+		agg.Draws += tr.Draws
+		agg.Wins += tr.Wins
+		agg.Divergences += tr.Divergences
+		log.Printf("  q%-2d cold %8.1fus  hit %6.2fus  rebind %7.1fus  %7.1fx/%.1fx  cands %d  wins %d/%d",
+			tmpl, tr.ColdUS, tr.HitUS, tr.RebindUS, tr.Speedup, tr.RebindSpeedup, tr.Candidates, tr.Wins, tr.Draws)
+	}
+	agg.Speedup = agg.ColdUS / agg.HitUS
+	agg.RebindSpeedup = agg.ColdUS / agg.RebindUS
+	agg.FrozenColdUS = frozenColdUS
+	agg.FrozenSpeedup = frozenColdUS / agg.HitUS
+	agg.WinRate = float64(agg.Wins) / math.Max(float64(agg.Draws), 1)
+	agg.SpeedupGate = agg.Speedup >= 10
+	agg.WinRateGate = agg.WinRate >= 0.9
+	agg.CorrectnessOK = agg.Divergences == 0
+	agg.TemplatesTotal = len(rep.Templates)
+	rep.Aggregate = agg
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("qppcachebench: aggregate %.1fus cold vs %.2fus hit (%.0fx) vs %.1fus rebind (%.1fx), win rate %.1f%%, %d divergences -> %s",
+		agg.ColdUS, agg.HitUS, agg.Speedup, agg.RebindUS, agg.RebindSpeedup, 100*agg.WinRate, agg.Divergences, *out)
+	if !agg.SpeedupGate {
+		return fmt.Errorf("speedup gate failed: %.2fx < 10x", agg.Speedup)
+	}
+	if !agg.WinRateGate {
+		return fmt.Errorf("win-rate gate failed: %.1f%% < 90%%", 100*agg.WinRate)
+	}
+	if !agg.CorrectnessOK {
+		return fmt.Errorf("correctness gate failed: %d divergences", agg.Divergences)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatalf("qppcachebench: %v", err)
+	}
+}

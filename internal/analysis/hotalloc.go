@@ -20,6 +20,7 @@ var HotPathPackages = []string{
 	"qpp/internal/exec",
 	"qpp/internal/serve",
 	"qpp/internal/sketch",
+	"qpp/internal/plancache",
 	"qpp/cmd/qppserve",
 }
 
@@ -126,6 +127,11 @@ func hotEntryPoint(pkgPath string, fd *ast.FuncDecl) bool {
 			name == "NextBatch" || name == "OpenBatch" || name == "ReScanBatch")
 	case "qpp/internal/serve", "qpp/cmd/qppserve":
 		return name == "ServeHTTP" || strings.HasPrefix(name, "handle") || strings.HasPrefix(name, "wrap")
+	case "qpp/internal/plancache":
+		// Plan (and everything it reaches: canonicalization, literal
+		// rebinding, candidate replay, selector scoring) runs once per
+		// served request; Canonicalize additionally runs on every lookup.
+		return name == "Plan" || name == "Canonicalize"
 	}
 	return false
 }

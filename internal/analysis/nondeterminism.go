@@ -25,6 +25,11 @@ var DeterministicCore = []string{
 	"qpp/internal/experiments",
 	"qpp/internal/mlearn",
 	"qpp/internal/qpp",
+	// The plan cache's Build must be replayable (same workload, same
+	// candidate sets and selector) and its Plan must never consult wall
+	// clock or global randomness: cache decisions are part of the
+	// deterministic serving contract.
+	"qpp/internal/plancache",
 }
 
 // timeDeny is the wall-clock surface of package time. Pure conversions

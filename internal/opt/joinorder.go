@@ -11,11 +11,15 @@ import (
 )
 
 // joinTree is a DP-search entry: a fully built and costed plan fragment
-// covering a set of relations.
+// covering a set of relations. provL/provR record which two fragments a
+// join was built from (nil for base scans), giving the recorder the
+// merge sequence of the winning tree without instrumenting the search.
 type joinTree struct {
 	set    relSet
 	node   *plan.Node
 	schema []schemaCol
+	provL  *joinTree
+	provR  *joinTree
 }
 
 // joinEdge is an equi-join predicate between two relations.
@@ -36,15 +40,31 @@ func (p *planner) ndvOf(rel, col int, relRows float64) float64 {
 
 // orderJoins runs DP over the relation scans using the equi-join edges,
 // returning the cheapest full join tree. Greedy pairing bridges
-// disconnected graphs (cross products) as a fallback.
+// disconnected graphs (cross products) as a fallback. In replay mode the
+// search is skipped entirely and the recorded merge sequence is applied;
+// in recording mode the winning tree's merges are appended to the trace.
 func (p *planner) orderJoins(scans []*joinTree, edges []joinEdge, sc *scope) (*joinTree, error) {
 	if len(scans) == 0 {
 		return nil, fmt.Errorf("opt: empty FROM list")
 	}
+	if p.replay != nil {
+		return p.replayJoins(scans, edges, sc)
+	}
+	tree, err := p.searchJoins(scans, edges, sc)
+	if err != nil {
+		return nil, err
+	}
+	if p.rec != nil {
+		p.rec.Blocks = append(p.rec.Blocks, appendSteps(nil, tree))
+	}
+	return tree, nil
+}
+
+func (p *planner) searchJoins(scans []*joinTree, edges []joinEdge, sc *scope) (*joinTree, error) {
 	if len(scans) == 1 {
 		return scans[0], nil
 	}
-	memo := map[relSet]*joinTree{}
+	memo := make(map[relSet]*joinTree, 2*len(scans))
 	var full relSet
 	for _, s := range scans {
 		memo[s.set] = s
@@ -176,7 +196,8 @@ func (p *planner) bestJoin(l, r *joinTree, edges []joinEdge, sc *scope) (*joinTr
 		joinSel /= math.Max(1, ndv)
 	}
 	joinRows := math.Max(1, l.node.Est.Rows*r.node.Est.Rows*joinSel)
-	outSchema := append(append([]schemaCol{}, l.schema...), r.schema...)
+	outSchema := make([]schemaCol, 0, len(l.schema)+len(r.schema))
+	outSchema = append(append(outSchema, l.schema...), r.schema...)
 	outCols := p.planColumns(outSchema, joinRows)
 
 	mkKeyScalars := func() (kl, kr []plan.Scalar) {
@@ -191,7 +212,7 @@ func (p *planner) bestJoin(l, r *joinTree, edges []joinEdge, sc *scope) (*joinTr
 
 	consider := func(n *plan.Node) {
 		if best == nil || n.Est.TotalCost < best.node.Est.TotalCost {
-			best = &joinTree{set: l.set.union(r.set), node: n, schema: outSchema}
+			best = &joinTree{set: l.set.union(r.set), node: n, schema: outSchema, provL: l, provR: r}
 		}
 	}
 

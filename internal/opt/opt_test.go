@@ -17,7 +17,7 @@ import (
 
 var testDBCache *storage.Database
 
-func tpchDB(t *testing.T) *storage.Database {
+func tpchDB(t testing.TB) *storage.Database {
 	t.Helper()
 	if testDBCache == nil {
 		db, err := tpch.Generate(tpch.GenConfig{ScaleFactor: 0.005, Seed: 7})

@@ -25,11 +25,24 @@ type planner struct {
 	subPlans    []*plan.Node
 	subArgSlots [][]int
 	numParams   int
+
+	// rec, when non-nil, collects the join-order merge trace of every
+	// query block; replay, when non-nil, substitutes recorded merges for
+	// the DP search (see trace.go). replayIdx is the next block to consume.
+	rec       *JoinTrace
+	replay    *JoinTrace
+	replayIdx int
 }
 
 // Plan compiles a parsed SELECT into a costed physical plan over db.
 func Plan(db *storage.Database, stmt *sql.SelectStmt) (*plan.Node, error) {
 	p := &planner{db: db, relByID: map[int]*relInfo{}, workMemPages: 256}
+	return p.run(stmt)
+}
+
+// run plans the statement and attaches the collected init-plan / sub-plan
+// registries to the root.
+func (p *planner) run(stmt *sql.SelectStmt) (*plan.Node, error) {
 	root, err := p.planSelect(stmt, nil)
 	if err != nil {
 		return nil, err
@@ -201,7 +214,7 @@ func (p *planner) planSelect(stmt *sql.SelectStmt, corr *subCtx) (*plan.Node, er
 	}
 
 	// Base scans and join ordering.
-	var scans []*joinTree
+	scans := make([]*joinTree, 0, len(dpRels))
 	for _, ri := range dpRels {
 		t, err := p.buildScan(ri, locals[ri.id], sc, corr)
 		if err != nil {
@@ -1013,15 +1026,21 @@ func (p *planner) hasOuterRefs(e sql.Expr, local *scope, outer *scope) bool {
 	return found
 }
 
-// splitConjuncts flattens a predicate into its AND-ed conjuncts.
+// splitConjuncts flattens a predicate into its AND-ed conjuncts. The
+// accumulator form builds one slice instead of a quadratic append chain
+// over the deep AND trees TPC-H WHERE clauses produce.
 func splitConjuncts(e sql.Expr) []sql.Expr {
 	if e == nil {
 		return nil
 	}
+	return appendConjuncts(nil, e)
+}
+
+func appendConjuncts(out []sql.Expr, e sql.Expr) []sql.Expr {
 	if be, ok := e.(*sql.BinaryExpr); ok && be.Op == sql.OpAnd {
-		return append(splitConjuncts(be.L), splitConjuncts(be.R)...)
+		return appendConjuncts(appendConjuncts(out, be.L), be.R)
 	}
-	return []sql.Expr{e}
+	return append(out, e)
 }
 
 // joinConjuncts rebuilds an AND tree (nil for an empty list).

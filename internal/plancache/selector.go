@@ -1,0 +1,111 @@
+package plancache
+
+import (
+	"math"
+
+	"qpp/internal/mlearn"
+	"qpp/internal/plan"
+)
+
+// scanFeatures appends the selectivity and log-scaled cardinality of
+// every base-relation scan in preorder. Scans are where parameter
+// bindings enter the plan: the optimizer's per-scan selectivity
+// estimates (sketch-statistics driven) summarize the binding, and the
+// vector length is fixed per template because every candidate replays
+// over the same statement structure.
+func scanFeatures(n *plan.Node, out []float64) []float64 {
+	if n.Op == plan.OpSeqScan || n.Op == plan.OpIndexScan {
+		out = append(out, n.Est.Selectivity, math.Log1p(n.Est.Rows))
+	}
+	for _, c := range n.Children {
+		out = scanFeatures(c, out)
+	}
+	return out
+}
+
+// Features extracts the selector feature vector from the replayed
+// default-candidate plan, covering the main tree and its init/sub plans
+// in deterministic order.
+func Features(root *plan.Node) []float64 {
+	out := scanFeatures(root, make([]float64, 0, 16))
+	for _, ip := range root.InitPlans {
+		out = scanFeatures(ip, out)
+	}
+	for _, sp := range root.SubPlans {
+		out = scanFeatures(sp, out)
+	}
+	return out
+}
+
+// Selector maps a parameter binding's features to the predicted-fastest
+// candidate: one ridge-regression latency model per candidate (trained
+// on virtual-clock executions during Build), argmin at serving time.
+type Selector struct {
+	dim    int
+	models []*mlearn.ScaledModel
+}
+
+// Choose returns the candidate with the lowest predicted latency and
+// the relative gap to the runner-up, the selector's confidence signal.
+// A zero gap (degenerate features, NaN predictions, dimension drift)
+// means "not confident" and routes the caller to the cost-based
+// fallback.
+func (s *Selector) Choose(feats []float64) (int, float64) {
+	if len(feats) != s.dim || len(s.models) == 0 {
+		return 0, 0
+	}
+	bestIdx := 0
+	best := math.Inf(1)
+	second := math.Inf(1)
+	for i, m := range s.models {
+		p := m.Predict(feats)
+		if math.IsNaN(p) {
+			return 0, 0
+		}
+		if p < best {
+			second = best
+			best = p
+			bestIdx = i
+		} else if p < second {
+			second = p
+		}
+	}
+	if math.IsInf(second, 1) {
+		return bestIdx, 0
+	}
+	gap := (second - best) / math.Max(math.Abs(best), 1e-12)
+	return bestIdx, gap
+}
+
+// trainSelector fits one latency model per candidate from the labeled
+// draws (feats[draw], lat[draw][cand]). It returns nil when fitting
+// fails or the training set is too small to trust.
+func trainSelector(feats [][]float64, lat [][]float64, nCand int) *Selector {
+	if len(feats) < 4 || len(feats) == 0 {
+		return nil
+	}
+	dim := len(feats[0])
+	if dim == 0 {
+		return nil
+	}
+	x := mlearn.NewMatrix(len(feats), dim)
+	for i, f := range feats {
+		if len(f) != dim {
+			return nil
+		}
+		copy(x.Data[i*dim:(i+1)*dim], f)
+	}
+	models := make([]*mlearn.ScaledModel, nCand)
+	y := make([]float64, len(feats))
+	for c := 0; c < nCand; c++ {
+		for d := range feats {
+			y[d] = lat[d][c]
+		}
+		m := mlearn.NewScaledModel(mlearn.NewLinearRegression(1e-3))
+		if err := m.Fit(x, y); err != nil {
+			return nil
+		}
+		models[c] = m
+	}
+	return &Selector{dim: dim, models: models}
+}

@@ -1,0 +1,246 @@
+package plancache
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"qpp/internal/sql"
+	"qpp/internal/types"
+)
+
+// litBinder stamps a request's literal tokens into a cloned template
+// AST. The walk visits literal carriers in lexical source order — the
+// same order Canonicalize extracted the tokens — so slot i of the token
+// list lands in carrier i of the tree. Signature equality guarantees the
+// counts and kinds line up; any residual mismatch (e.g. a non-integer
+// interval string) returns an error and the caller falls back to cold
+// planning.
+type litBinder struct {
+	lits []Lit
+	idx  int
+}
+
+func (b *litBinder) take(kind LitKind) (string, error) {
+	if b.idx >= len(b.lits) {
+		return "", fmt.Errorf("plancache: literal slot %d out of range", b.idx)
+	}
+	l := b.lits[b.idx]
+	if l.Kind != kind {
+		return "", fmt.Errorf("plancache: literal slot %d kind mismatch", b.idx)
+	}
+	b.idx++
+	return l.Text, nil
+}
+
+// applyLiterals mutates stmt (a private clone of the template AST) in
+// place, replacing every literal with the corresponding request token.
+// Value construction mirrors the parser exactly — numbers with a '.'
+// parse as floats, otherwise as ints; date strings go through
+// types.ParseDate; interval and LIMIT counts through strconv — so the
+// resulting AST is indistinguishable from a fresh parse of the request.
+func applyLiterals(stmt *sql.SelectStmt, lits []Lit) error {
+	b := &litBinder{lits: lits}
+	if err := b.stmt(stmt); err != nil {
+		return err
+	}
+	if b.idx != len(lits) {
+		return fmt.Errorf("plancache: %d of %d literal slots consumed", b.idx, len(lits))
+	}
+	return nil
+}
+
+func (b *litBinder) stmt(s *sql.SelectStmt) error {
+	for i := range s.Items {
+		if err := b.expr(s.Items[i].E); err != nil {
+			return err
+		}
+	}
+	for i := range s.From {
+		if s.From[i].Sub != nil {
+			if err := b.stmt(s.From[i].Sub); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range s.Joins {
+		if s.Joins[i].Item.Sub != nil {
+			if err := b.stmt(s.Joins[i].Item.Sub); err != nil {
+				return err
+			}
+		}
+		if err := b.expr(s.Joins[i].On); err != nil {
+			return err
+		}
+	}
+	if err := b.expr(s.Where); err != nil {
+		return err
+	}
+	for _, g := range s.GroupBy {
+		if err := b.expr(g); err != nil {
+			return err
+		}
+	}
+	if err := b.expr(s.Having); err != nil {
+		return err
+	}
+	for i := range s.OrderBy {
+		if err := b.expr(s.OrderBy[i].E); err != nil {
+			return err
+		}
+	}
+	if s.Limit >= 0 {
+		t, err := b.take(LitNumber)
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(t)
+		if err != nil {
+			return fmt.Errorf("plancache: bad LIMIT %q", t)
+		}
+		s.Limit = n
+	}
+	return nil
+}
+
+func (b *litBinder) expr(e sql.Expr) error {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case *sql.ColumnRef:
+		return nil
+	case *sql.Literal:
+		return b.literal(v)
+	case *sql.Interval:
+		t, err := b.take(LitString)
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(t))
+		if err != nil {
+			return fmt.Errorf("plancache: bad interval %q", t)
+		}
+		v.N = n
+		return nil
+	case *sql.BinaryExpr:
+		if err := b.expr(v.L); err != nil {
+			return err
+		}
+		return b.expr(v.R)
+	case *sql.NotExpr:
+		return b.expr(v.E)
+	case *sql.NegExpr:
+		return b.expr(v.E)
+	case *sql.FuncCall:
+		for _, a := range v.Args {
+			if err := b.expr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *sql.CaseExpr:
+		for i := range v.Whens {
+			if err := b.expr(v.Whens[i].Cond); err != nil {
+				return err
+			}
+			if err := b.expr(v.Whens[i].Then); err != nil {
+				return err
+			}
+		}
+		return b.expr(v.Else)
+	case *sql.InExpr:
+		if err := b.expr(v.E); err != nil {
+			return err
+		}
+		for _, it := range v.List {
+			if err := b.expr(it); err != nil {
+				return err
+			}
+		}
+		if v.Sub != nil {
+			return b.stmt(v.Sub)
+		}
+		return nil
+	case *sql.ExistsExpr:
+		return b.stmt(v.Sub)
+	case *sql.BetweenExpr:
+		if err := b.expr(v.E); err != nil {
+			return err
+		}
+		if err := b.expr(v.Lo); err != nil {
+			return err
+		}
+		return b.expr(v.Hi)
+	case *sql.LikeExpr:
+		if err := b.expr(v.E); err != nil {
+			return err
+		}
+		t, err := b.take(LitString)
+		if err != nil {
+			return err
+		}
+		v.Pattern = t
+		return nil
+	case *sql.IsNullExpr:
+		return b.expr(v.E)
+	case *sql.SubqueryExpr:
+		return b.stmt(v.Sub)
+	case *sql.ExtractExpr:
+		return b.expr(v.From)
+	case *sql.SubstringExpr:
+		if err := b.expr(v.E); err != nil {
+			return err
+		}
+		if err := b.expr(v.Start); err != nil {
+			return err
+		}
+		return b.expr(v.Len)
+	default:
+		return fmt.Errorf("plancache: cannot rebind %T", e)
+	}
+}
+
+func (b *litBinder) literal(v *sql.Literal) error {
+	switch v.Value.Kind {
+	case types.KindNull:
+		// `null` lexes as an identifier; no literal token to consume.
+		return nil
+	case types.KindString:
+		t, err := b.take(LitString)
+		if err != nil {
+			return err
+		}
+		v.Value = types.Str(t)
+		return nil
+	case types.KindDate:
+		t, err := b.take(LitString)
+		if err != nil {
+			return err
+		}
+		d, err := types.ParseDate(t)
+		if err != nil {
+			return fmt.Errorf("plancache: bad date %q", t)
+		}
+		v.Value = types.Date(d)
+		return nil
+	default:
+		t, err := b.take(LitNumber)
+		if err != nil {
+			return err
+		}
+		if strings.Contains(t, ".") {
+			f, err := strconv.ParseFloat(t, 64)
+			if err != nil {
+				return fmt.Errorf("plancache: bad number %q", t)
+			}
+			v.Value = types.Float(f)
+			return nil
+		}
+		n, err := strconv.ParseInt(t, 10, 64)
+		if err != nil {
+			return fmt.Errorf("plancache: bad number %q", t)
+		}
+		v.Value = types.Int(n)
+		return nil
+	}
+}

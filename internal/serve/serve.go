@@ -40,6 +40,7 @@ import (
 	"qpp/internal/obs"
 	"qpp/internal/opt"
 	"qpp/internal/plan"
+	"qpp/internal/plancache"
 	"qpp/internal/qpp"
 	"qpp/internal/storage"
 	"qpp/internal/tpch"
@@ -91,6 +92,14 @@ type Server struct {
 	snap      atomic.Pointer[Snapshot]
 	publishes obs.CCounter
 	reloads   obs.CCounter
+
+	// Parametric plan-cache counters: hits (any cache-served plan),
+	// misses (cold-planned: unknown signature, no cache in the snapshot,
+	// or hit-path fallback), and selector fallbacks (cache-served but the
+	// learned selector declined and the cost-based choice was used).
+	cacheHits      obs.CCounter
+	cacheMisses    obs.CCounter
+	cacheFallbacks obs.CCounter
 
 	now      func() float64
 	reload   func() (*Snapshot, error)
@@ -280,6 +289,37 @@ func planSQL(db *storage.Database, sql string) (node *plan.Node, err error) {
 	return opt.PlanSQL(db, sql)
 }
 
+// planFor compiles one query through the snapshot's parametric plan
+// cache when present (a hit skips parse and join-order search entirely),
+// cold-planning otherwise. Counter accounting lives here so every
+// predict path reports cache behaviour; panics convert to errors per the
+// planSQL contract.
+func (s *Server) planFor(snap *Snapshot, sqlText string) (node *plan.Node, err error) {
+	if snap.Cache == nil {
+		s.cacheMisses.Inc()
+		return planSQL(s.db, sqlText)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("internal plan error: %v", p)
+		}
+	}()
+	node, outcome, err := snap.Cache.Plan(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	switch outcome {
+	case plancache.OutcomeHit:
+		s.cacheHits.Inc()
+	case plancache.OutcomeHitFallback:
+		s.cacheHits.Inc()
+		s.cacheFallbacks.Inc()
+	default:
+		s.cacheMisses.Inc()
+	}
+	return node, nil
+}
+
 // predictOne plans one query and runs every model in the snapshot over
 // it. The snapshot is passed in by the caller so one request (or one
 // batch) observes exactly one snapshot.
@@ -287,7 +327,7 @@ func (s *Server) predictOne(snap *Snapshot, sql string) (*PredictResult, int, st
 	if strings.TrimSpace(sql) == "" {
 		return nil, http.StatusBadRequest, "empty sql"
 	}
-	node, err := planSQL(s.db, sql)
+	node, err := s.planFor(snap, sql)
 	if err != nil {
 		return nil, http.StatusBadRequest, fmt.Sprintf("plan: %v", err)
 	}
@@ -445,6 +485,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	}
 	reg.SetCounter("serve.snapshot.publishes", float64(s.publishes.Load()))
 	reg.SetCounter("serve.reloads", float64(s.reloads.Load()))
+	reg.SetCounter("plancache.hit", float64(s.cacheHits.Load()))
+	reg.SetCounter("plancache.miss", float64(s.cacheMisses.Load()))
+	reg.SetCounter("plancache.selector_fallback", float64(s.cacheFallbacks.Load()))
 	snap := s.snap.Load()
 	reg.SetCounter("serve.snapshot.plan_models", float64(snap.Hybrid.NumPlanModels()))
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

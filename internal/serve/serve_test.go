@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"qpp/internal/plancache"
 	"qpp/internal/qpp"
 	"qpp/internal/storage"
 	"qpp/internal/tpch"
@@ -46,6 +47,14 @@ func trainFromRecords(version string, recs []*qpp.QueryRecord) (*Snapshot, error
 	return &Snapshot{Version: version, Plan: pl, Hybrid: hy, Baseline: base}, nil
 }
 
+func buildCache(db *storage.Database, recs []*qpp.QueryRecord) (*plancache.Cache, error) {
+	sqls := make([]string, len(recs))
+	for i, rec := range recs {
+		sqls[i] = rec.SQL
+	}
+	return plancache.Build(db, sqls, plancache.Config{LabelSeed: 11})
+}
+
 func testEnv(t testing.TB) (*storage.Database, *Snapshot, *Snapshot) {
 	t.Helper()
 	env.once.Do(func() {
@@ -64,7 +73,18 @@ func testEnv(t testing.TB) (*storage.Database, *Snapshot, *Snapshot) {
 		if env.snapA, env.err = trainFromRecords("vA", ds.Records); env.err != nil {
 			return
 		}
-		env.snapB, env.err = trainFromRecords("vB", ds.Records[:len(ds.Records)-8])
+		if env.snapB, env.err = trainFromRecords("vB", ds.Records[:len(ds.Records)-8]); env.err != nil {
+			return
+		}
+		// Each snapshot carries its own plan cache built from its own
+		// record subset, mirroring what /reload publishes: the swap-race
+		// test must never observe snapshot A's models with snapshot B's
+		// cache (or a half-built cache). B's cache covers fewer draws, so
+		// the two caches are genuinely distinct objects.
+		if env.snapA.Cache, env.err = buildCache(ds.DB, ds.Records); env.err != nil {
+			return
+		}
+		env.snapB.Cache, env.err = buildCache(ds.DB, ds.Records[:len(ds.Records)-8])
 	})
 	if env.err != nil {
 		t.Fatal(env.err)

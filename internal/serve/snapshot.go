@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"qpp/internal/plancache"
 	"qpp/internal/qpp"
 	"qpp/internal/storage"
 	"qpp/internal/tpch"
@@ -33,6 +34,12 @@ type Snapshot struct {
 	// side-by-side with the learned models; may be nil for snapshots
 	// materialized before the baseline was saved.
 	Baseline *qpp.CostModelBaseline
+	// Cache is the parametric plan cache built from the training
+	// workload (nil for disk-loaded snapshots: model files carry no
+	// workload, so -models mode serves with cold planning only). Like
+	// the models it is immutable once published — /reload swaps in a
+	// freshly built cache with the same pointer swap.
+	Cache *plancache.Cache
 }
 
 // Snapshot file names inside a model directory — the layout cmd/qpptrain
@@ -171,12 +178,21 @@ func TrainSnapshot(cfg TrainConfig) (*Snapshot, *storage.Database, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("serve: train baseline: %w", err)
 	}
+	sqls := make([]string, len(ds.Records))
+	for i, rec := range ds.Records {
+		sqls[i] = rec.SQL
+	}
+	cache, err := plancache.Build(ds.DB, sqls, plancache.Config{LabelSeed: cfg.Seed})
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: build plan cache: %w", err)
+	}
 	snap := &Snapshot{
 		Version: fmt.Sprintf("trained-sf%g-seed%d-n%d-%s",
 			cfg.ScaleFactor, cfg.Seed, len(ds.Records), cfg.Strategy),
 		Plan:     pl,
 		Hybrid:   hy,
 		Baseline: base,
+		Cache:    cache,
 	}
 	return snap, ds.DB, nil
 }

@@ -1,0 +1,125 @@
+package sql
+
+// CloneSelect deep-copies a SELECT statement. The plan cache keeps one
+// parsed template AST per signature and stamps fresh literals into a
+// private clone on every hit, so the clone must share no mutable node
+// with the original: every statement, expression, and slice is copied.
+// Concurrent hits on the same template each clone independently.
+func CloneSelect(s *SelectStmt) *SelectStmt {
+	if s == nil {
+		return nil
+	}
+	out := &SelectStmt{
+		Distinct: s.Distinct,
+		Where:    CloneExpr(s.Where),
+		Having:   CloneExpr(s.Having),
+		Limit:    s.Limit,
+	}
+	if s.Items != nil {
+		out.Items = make([]SelectItem, len(s.Items))
+		for i, it := range s.Items {
+			out.Items[i] = SelectItem{E: CloneExpr(it.E), Alias: it.Alias}
+		}
+	}
+	if s.From != nil {
+		out.From = make([]FromItem, len(s.From))
+		for i := range s.From {
+			out.From[i] = cloneFromItem(&s.From[i])
+		}
+	}
+	if s.Joins != nil {
+		out.Joins = make([]Join, len(s.Joins))
+		for i, j := range s.Joins {
+			out.Joins[i] = Join{Type: j.Type, Item: cloneFromItem(&j.Item), On: CloneExpr(j.On)}
+		}
+	}
+	if s.GroupBy != nil {
+		out.GroupBy = make([]Expr, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			out.GroupBy[i] = CloneExpr(g)
+		}
+	}
+	if s.OrderBy != nil {
+		out.OrderBy = make([]OrderItem, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			out.OrderBy[i] = OrderItem{E: CloneExpr(o.E), Desc: o.Desc}
+		}
+	}
+	return out
+}
+
+func cloneFromItem(f *FromItem) FromItem {
+	out := FromItem{Table: f.Table, Sub: CloneSelect(f.Sub), Alias: f.Alias}
+	if f.ColAliases != nil {
+		out.ColAliases = append([]string(nil), f.ColAliases...)
+	}
+	return out
+}
+
+// CloneExpr deep-copies an expression tree (nil-safe).
+func CloneExpr(e Expr) Expr {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case *ColumnRef:
+		c := *v
+		return &c
+	case *Literal:
+		c := *v
+		return &c
+	case *Interval:
+		c := *v
+		return &c
+	case *BinaryExpr:
+		return &BinaryExpr{Op: v.Op, L: CloneExpr(v.L), R: CloneExpr(v.R)}
+	case *NotExpr:
+		return &NotExpr{E: CloneExpr(v.E)}
+	case *NegExpr:
+		return &NegExpr{E: CloneExpr(v.E)}
+	case *FuncCall:
+		out := &FuncCall{Name: v.Name, Star: v.Star, Distinct: v.Distinct}
+		if v.Args != nil {
+			out.Args = make([]Expr, len(v.Args))
+			for i, a := range v.Args {
+				out.Args[i] = CloneExpr(a)
+			}
+		}
+		return out
+	case *CaseExpr:
+		out := &CaseExpr{Else: CloneExpr(v.Else)}
+		if v.Whens != nil {
+			out.Whens = make([]WhenClause, len(v.Whens))
+			for i, w := range v.Whens {
+				out.Whens[i] = WhenClause{Cond: CloneExpr(w.Cond), Then: CloneExpr(w.Then)}
+			}
+		}
+		return out
+	case *InExpr:
+		out := &InExpr{E: CloneExpr(v.E), Sub: CloneSelect(v.Sub), Negated: v.Negated}
+		if v.List != nil {
+			out.List = make([]Expr, len(v.List))
+			for i, it := range v.List {
+				out.List[i] = CloneExpr(it)
+			}
+		}
+		return out
+	case *ExistsExpr:
+		return &ExistsExpr{Sub: CloneSelect(v.Sub), Negated: v.Negated}
+	case *BetweenExpr:
+		return &BetweenExpr{E: CloneExpr(v.E), Lo: CloneExpr(v.Lo), Hi: CloneExpr(v.Hi), Negated: v.Negated}
+	case *LikeExpr:
+		return &LikeExpr{E: CloneExpr(v.E), Pattern: v.Pattern, Negated: v.Negated}
+	case *IsNullExpr:
+		return &IsNullExpr{E: CloneExpr(v.E), Negated: v.Negated}
+	case *SubqueryExpr:
+		return &SubqueryExpr{Sub: CloneSelect(v.Sub)}
+	case *ExtractExpr:
+		return &ExtractExpr{Field: v.Field, From: CloneExpr(v.From)}
+	case *SubstringExpr:
+		return &SubstringExpr{E: CloneExpr(v.E), Start: CloneExpr(v.Start), Len: CloneExpr(v.Len)}
+	default:
+		// The parser produces no other node types; returning the input
+		// keeps the clone total rather than panicking on a future node.
+		return e
+	}
+}

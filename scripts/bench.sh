@@ -7,7 +7,8 @@
 # PR gate checks: compiled ns/op must beat interpreted by >= 1.5x on the
 # Q6 hot path while allocs/op stay at or below the interpreted figures.
 #
-#   scripts/bench.sh            # ~2 min, writes BENCH_exec.json + BENCH_stats.json + BENCH_serve.json
+#   scripts/bench.sh            # ~3 min, writes BENCH_exec.json + BENCH_stats.json
+#                               #         + BENCH_plancache.json + BENCH_serve.json
 #   scripts/bench.sh -benchtime 5x   # extra args go to `go test`
 #
 # Output schema (one object per benchmark line):
@@ -45,6 +46,11 @@ go test -run '^$' -bench 'BenchmarkExecutionQ6|BenchmarkExprCompiled|BenchmarkEx
 	-benchmem -benchtime=1s "$@" . | tee "$tmp"
 go test -run '^$' -bench 'BenchmarkScalarEval' \
 	-benchmem -benchtime=1s "$@" ./internal/exec/ | tee -a "$tmp"
+# Cold planning vs trace replay: the per-query optimization cost the
+# plan cache amortizes (BENCH_plancache.json below holds the end-to-end
+# serving view of the same trade).
+go test -run '^$' -bench 'BenchmarkPlanSQL|BenchmarkPlanReplay' \
+	-benchmem -benchtime=1s "$@" ./internal/opt/ | tee -a "$tmp"
 
 # Convert `go test -bench` lines into JSON with awk (stdlib-only repo:
 # no benchstat). A bench line looks like:
@@ -147,6 +153,18 @@ END {
 rm -f "$stats_tmp"
 
 printf '\nwrote %s (%s benchmark lines)\n' "$stats_out" "$(grep -c '"name"' "$stats_out")"
+
+# --- plan-cache benchmark ---------------------------------------------
+# Per-request planning cost on the three serving paths (cold, exact-
+# match hit, parametric rebind) plus the plan-quality differential for
+# held-out parameter draws. The frozen no-cache baseline lives inside
+# qppcachebench (frozenColdUS) and is embedded in the JSON; the command
+# exits non-zero if any gate (>=10x hit speedup, >=90% win rate, zero
+# divergence) fails.
+go build -o "$bindir/qppcachebench" ./cmd/qppcachebench
+"$bindir/qppcachebench" -out BENCH_plancache.json
+
+printf '\nwrote BENCH_plancache.json (%s templates)\n' "$(grep -c '"template"' BENCH_plancache.json)"
 
 # --- serving load benchmark -------------------------------------------
 # qppload self-waits on /healthz, so no curl/sleep polling here; the

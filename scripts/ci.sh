@@ -25,6 +25,10 @@
 #   9. sketch smoke — 5s of FuzzSketch on the streaming-statistics
 #                    sketches (decoder robustness + cross-sketch
 #                    invariants; see internal/sketch)
+#  10. plancache smoke — 5s of FuzzCanonicalSignature on the plan-cache
+#                    template signature (literal perturbation must never
+#                    change a query's canonical key; see
+#                    internal/plancache and DESIGN.md §15)
 #
 # The parallel execution layer (internal/parallel, workload builds, fold
 # training, figure drivers) is only trusted because stage 5 passes clean;
@@ -105,5 +109,8 @@ go test -fuzz=FuzzPredictRequest -fuzztime=5s -run '^$' ./internal/serve
 
 banner "sketch fuzz smoke (FuzzSketch, 5s)"
 go test -fuzz=FuzzSketch -fuzztime=5s -run '^$' ./internal/sketch
+
+banner "plancache fuzz smoke (FuzzCanonicalSignature, 5s)"
+go test -fuzz=FuzzCanonicalSignature -fuzztime=5s -run '^$' ./internal/plancache
 
 banner "CI OK"
